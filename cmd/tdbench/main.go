@@ -1,0 +1,153 @@
+// Command tdbench regenerates the paper's evaluation artifacts: every
+// matrix-derived figure (Figs. 1-3, 9-13, Table IV) and the standalone
+// studies (§V-D predictor, §V-E flush buffer, §V-F set associativity)
+// plus the TDRAM design-choice ablations.
+//
+// Usage:
+//
+//	tdbench                          # all matrix figures, quick scale
+//	tdbench -scale full              # all 28 workloads (several minutes)
+//	tdbench -exp fig9,tab4           # selected experiments
+//	tdbench -exp flushbuf,setassoc   # standalone studies
+//	tdbench -v                       # per-run progress lines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tdram"
+)
+
+// matrixExps are the experiments derived from the shared run matrix.
+var matrixExps = map[string]func(*tdram.Matrix) *tdram.Report{
+	"fig1":  tdram.Fig1,
+	"fig2":  tdram.Fig2,
+	"fig3":  tdram.Fig3,
+	"fig9":  tdram.Fig9,
+	"fig10": tdram.Fig10,
+	"fig11": tdram.Fig11,
+	"fig12": tdram.Fig12,
+	"tab4":  tdram.Tab4,
+	"fig13": tdram.Fig13,
+}
+
+// standaloneExps run their own parameter sweeps.
+var standaloneExps = map[string]func(tdram.Scale) (*tdram.Report, error){
+	"predictor":        tdram.PredictorStudy,
+	"prefetcher":       tdram.PrefetcherStudy,
+	"flushbuf":         tdram.FlushBufferStudy,
+	"setassoc":         tdram.SetAssocStudy,
+	"abl-probing":      tdram.AblationProbing,
+	"abl-probe-policy": tdram.AblationProbePolicy,
+	"abl-flush":        tdram.AblationFlushBuffer,
+	"abl-condcol":      tdram.AblationCondColumn,
+	"abl-pagepolicy":   tdram.AblationPagePolicy,
+}
+
+var matrixOrder = []string{"fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "tab4", "fig13"}
+var standaloneOrder = []string{"predictor", "prefetcher", "flushbuf", "setassoc", "abl-probing", "abl-probe-policy", "abl-flush", "abl-condcol", "abl-pagepolicy"}
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "quick", "quick (6 workloads) or full (all 28)")
+		expList   = flag.String("exp", "matrix", "comma-separated experiment ids, 'matrix', 'studies', or 'all'")
+		csvDir    = flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
+		verbose   = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	var scale tdram.Scale
+	switch *scaleName {
+	case "quick":
+		scale = tdram.QuickScale()
+	case "full":
+		scale = tdram.FullScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+
+	var ids []string
+	switch *expList {
+	case "matrix":
+		ids = matrixOrder
+	case "studies":
+		ids = standaloneOrder
+	case "all":
+		ids = append(append([]string{}, matrixOrder...), standaloneOrder...)
+	default:
+		ids = strings.Split(*expList, ",")
+	}
+
+	needMatrix := false
+	for _, id := range ids {
+		if _, ok := matrixExps[id]; ok {
+			needMatrix = true
+		} else if _, ok := standaloneExps[id]; !ok {
+			fatal(fmt.Errorf("unknown experiment %q (known: %s / %s)",
+				id, strings.Join(matrixOrder, ","), strings.Join(standaloneOrder, ",")))
+		}
+	}
+
+	progress := func(string) {}
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	var m *tdram.Matrix
+	if needMatrix {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "tdbench: running %d x %d matrix at scale %q...\n",
+			len(scale.Workloads), 7, scale.Name)
+		var err error
+		m, err = tdram.RunMatrix(scale, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tdbench: matrix done in %v\n", time.Since(start).Round(time.Second))
+	}
+
+	emit := func(rep *tdram.Report) {
+		fmt.Println(rep)
+		if *csvDir == "" {
+			return
+		}
+		if csv := rep.CSV(); csv != "" {
+			path := filepath.Join(*csvDir, rep.ID+".csv")
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	for _, id := range ids {
+		if f, ok := matrixExps[id]; ok {
+			emit(f(m))
+			continue
+		}
+		start := time.Now()
+		rep, err := standaloneExps[id](scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit(rep)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "tdbench: %s done in %v\n", id, time.Since(start).Round(time.Second))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tdbench:", err)
+	os.Exit(1)
+}

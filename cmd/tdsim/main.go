@@ -1,0 +1,170 @@
+// Command tdsim runs one full-system DRAM-cache simulation and prints
+// its measurements: outcome breakdown, tag-check latency, queueing
+// delay, bandwidth and energy.
+//
+// Usage:
+//
+//	tdsim -design tdram -workload ft.C
+//	tdsim -design cascade-lake -workload pr.25 -capacity 33554432
+//	tdsim -show-config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdram"
+	"tdram/internal/dram"
+	"tdram/internal/mem"
+	"tdram/internal/overhead"
+	"tdram/internal/sim"
+)
+
+func main() {
+	var (
+		designName    = flag.String("design", "tdram", "cache design: cascade-lake, alloy, bear, ndc, tdram, ideal, no-cache")
+		wlName        = flag.String("workload", "ft.C", "workload name (see -list)")
+		capacity      = flag.Uint64("capacity", 16<<20, "DRAM cache capacity in bytes")
+		requests      = flag.Int("requests", 10000, "measured accesses per core")
+		warmup        = flag.Int("warmup", 1000, "timed warmup accesses per core")
+		ways          = flag.Int("ways", 1, "cache associativity (1 = direct-mapped)")
+		probe         = flag.Bool("probe", true, "TDRAM early tag probing")
+		predictor     = flag.Bool("predictor", false, "MAP-I predictor (cascade-lake/alloy only)")
+		flushSize     = flag.Int("flush", 16, "flush/victim buffer entries (tdram/ndc)")
+		seed          = flag.Uint64("seed", 1, "workload PRNG seed")
+		list          = flag.Bool("list", false, "list workloads and exit")
+		showConfig    = flag.Bool("show-config", false, "print the Table III device timing and exit")
+		showOverheads = flag.Bool("show-overheads", false, "print the paper's analytical area/pin overheads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, wl := range tdram.Workloads() {
+			fmt.Printf("%-9s suite=%-6s footprint=%.2fx band=%s writes=%.0f%%\n",
+				wl.Name, wl.Suite, wl.FootprintRatio, wl.Band, wl.WriteFrac*100)
+		}
+		return
+	}
+	if *showConfig {
+		printDeviceConfig(*capacity)
+		return
+	}
+	if *showOverheads {
+		printOverheads()
+		return
+	}
+
+	design, err := tdram.ParseDesign(*designName)
+	if err != nil {
+		fatal(err)
+	}
+	wl, err := tdram.WorkloadByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := tdram.NewSystemConfig(design, wl, *capacity)
+	cfg.RequestsPerCore = *requests
+	cfg.WarmupPerCore = *warmup
+	cfg.Seed = *seed
+	if design != tdram.NoCache {
+		cfg.Cache.Ways = *ways
+		cfg.Cache.FlushEntries = *flushSize
+		if design == tdram.TDRAM {
+			cfg.Cache.ProbeEnabled = *probe
+		}
+		if *predictor {
+			cfg.Cache.UsePredictor = true
+		}
+	}
+
+	res, err := tdram.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res)
+}
+
+func printResult(r *tdram.Result) {
+	fmt.Printf("design        %v\n", r.Design)
+	fmt.Printf("workload      %s\n", r.Workload)
+	fmt.Printf("runtime       %v\n", r.Runtime)
+	fmt.Printf("throughput    %.1f accesses/us\n", r.Throughput())
+	fmt.Printf("l2 miss rate  %.3f\n", r.L2MissRate)
+	if r.Design == tdram.NoCache {
+		fmt.Printf("ddr5 reads    %d (queueing %.1fns, latency %.1fns)\n",
+			r.MM.Reads, r.MM.ReadQueueing.Value(), r.MM.ReadLatency.Value())
+		return
+	}
+	o := &r.Cache.Outcomes
+	fmt.Printf("demands       %d reads, %d writes\n", r.Cache.DemandReads, r.Cache.DemandWrites)
+	fmt.Printf("miss ratio    %.3f\n", o.MissRatio())
+	fmt.Println("outcomes:")
+	for out := mem.ReadHit; out < mem.Outcome(mem.NumOutcomes); out++ {
+		fmt.Printf("  %-17s %d\n", out, o.Count(out))
+	}
+	fmt.Printf("tag check     %.2f ns avg (p95 %.0f, p99 %.0f)\n", r.Cache.TagCheck.Value(),
+		r.Cache.TagCheckHist.Percentile(0.95), r.Cache.TagCheckHist.Percentile(0.99))
+	fmt.Printf("read queueing %.2f ns avg\n", r.Cache.ReadQueueing.Value())
+	fmt.Printf("read latency  %.2f ns avg (p95 %.0f, p99 %.0f)\n", r.Cache.ReadLatency.Value(),
+		r.Cache.ReadLatencyHist.Percentile(0.95), r.Cache.ReadLatencyHist.Percentile(0.99))
+	tr := &r.Cache.Traffic
+	fmt.Printf("traffic       cache %.1f MiB (demand %.1f, fill %.1f, victim %.1f, discard %.1f, overfetch %.1f), mm %.1f MiB\n",
+		mib(tr.CacheTotal()), mib(tr.DemandBytes), mib(tr.FillBytes), mib(tr.VictimBytes),
+		mib(tr.DiscardBytes), mib(tr.OverheadBytes), mib(tr.MMDemandBytes+tr.MMWritebackBytes))
+	fmt.Printf("bloat factor  %.2f\n", r.Cache.BloatFactor())
+	if r.Design == tdram.TDRAM {
+		fmt.Printf("probes        %d (miss-clean %d, hit %d, miss-dirty %d)\n",
+			r.Cache.Probes, r.Cache.ProbeMissClean, r.Cache.ProbeHits, r.Cache.ProbeMissDirty)
+		fmt.Printf("flush buffer  avg %.1f, max %d, stalls %d (drains: refresh %d, idle-slot %d, explicit %d)\n",
+			r.Cache.FlushOccupancy.Value(), r.Cache.FlushMax, r.Cache.FlushStalls,
+			r.Cache.FlushDrainRefresh, r.Cache.FlushDrainIdleSlot, r.Cache.FlushDrainExplicit)
+	}
+	if r.Cache.PredictorMissStarts > 0 {
+		fmt.Printf("predictor     %d early fetches, accuracy %.2f\n",
+			r.Cache.PredictorMissStarts, r.Cache.PredictorAccuracy)
+	}
+	fmt.Printf("energy        cache %.3f mJ + main %.3f mJ = %.3f mJ\n",
+		r.Energy.Cache.Total()*1e3, r.Energy.Main.Total()*1e3, r.Energy.Total()*1e3)
+}
+
+func mib(b uint64) float64 { return float64(b) / (1 << 20) }
+
+func printDeviceConfig(capacity uint64) {
+	p := dram.CacheDeviceParams(capacity)
+	fmt.Printf("cache device (%s), %d channels x %d banks, capacity %d MiB\n",
+		p.Name, p.Channels, p.Banks, capacity>>20)
+	rows := []struct {
+		name string
+		v    sim.Tick
+	}{
+		{"tBURST", p.TBURST}, {"tRCD", p.TRCD}, {"tRCD_WR", p.TRCDWR},
+		{"tRP", p.TRP}, {"tRAS", p.TRAS}, {"tCL", p.TCL}, {"tCWL", p.TCWL},
+		{"tWR", p.TWR}, {"tRRD", p.TRRD}, {"tXAW", p.TFAW},
+		{"tREFI", p.TREFI}, {"tRFC", p.TRFC},
+		{"tRCD_TAG", p.TRCDTag}, {"tHM_int", p.THMInt}, {"tHM", p.THM},
+		{"tRC_TAG", p.TRCTag}, {"tRRD_TAG", p.TRRDTag},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-9s %v\n", r.name, r.v)
+	}
+	d := dram.DDR5Params()
+	fmt.Printf("main memory (%s), %d channels x %d banks\n", d.Name, d.Channels, d.Banks)
+}
+
+func printOverheads() {
+	area := overhead.PaperAreaModel()
+	sig := overhead.PaperSignalModel()
+	tag := overhead.PaperTagStorage()
+	fmt.Printf("die area impact      %.2f%% (paper: 8.24%%)\n", area.DieAreaImpact()*100)
+	fmt.Printf("interface signals    %d total, +%d vs HBM3 (+%.1f%%); fits spare bumps: %v\n",
+		sig.TDRAMSignals(), sig.ExtraSignals(), sig.SignalOverhead()*100, sig.FitsInPackage())
+	fmt.Printf("tag storage          %d-bit tag, %d GiB of tag+metadata for a %d GiB cache over 1 PB\n",
+		tag.TagBits(), tag.StorageBytes()>>30, tag.CacheBytes>>30)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tdsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+package tdram_test
+
+import (
+	"fmt"
+
+	"tdram"
+)
+
+// ExampleRun simulates one workload on TDRAM and inspects the
+// measurements a downstream user typically wants.
+func ExampleRun() {
+	cfg := tdram.NewSystemConfig(tdram.TDRAM, tdram.MustWorkload("bt.C"), 8<<20)
+	cfg.RequestsPerCore = 1500
+	cfg.WarmupPerCore = 300
+	res, err := tdram.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("design:", res.Design)
+	fmt.Println("low-miss band:", res.Cache.Outcomes.MissRatio() < 0.30)
+	fmt.Println("unloaded-or-better tag check:", res.Cache.TagCheck.Value() >= 15)
+	// Output:
+	// design: tdram
+	// low-miss band: true
+	// unloaded-or-better tag check: true
+}
+
+// ExampleParseDesign resolves design names used by the CLIs.
+func ExampleParseDesign() {
+	d, err := tdram.ParseDesign("cascade-lake")
+	fmt.Println(d, err)
+	// Output:
+	// cascade-lake <nil>
+}
+
+// ExampleWorkloadByName shows the workload roster lookup.
+func ExampleWorkloadByName() {
+	wl, _ := tdram.WorkloadByName("pr.25")
+	fmt.Println(wl.Name, wl.Suite, wl.Band)
+	// Output:
+	// pr.25 gapbs high
+}

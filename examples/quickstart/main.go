@@ -1,0 +1,48 @@
+// Quickstart: run one workload on TDRAM and on the Cascade Lake
+// baseline, and print the paper's headline comparison — tag-check
+// latency, runtime, bandwidth bloat and energy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdram"
+)
+
+func main() {
+	const capacity = 16 << 20 // scaled-down stand-in for the paper's 8 GiB
+	wl := tdram.MustWorkload("ft.C")
+
+	fmt.Printf("workload %s: footprint %.1fx the %d MiB cache, %d%% writes\n\n",
+		wl.Name, wl.FootprintRatio, capacity>>20, int(wl.WriteFrac*100))
+
+	run := func(d tdram.Design) *tdram.Result {
+		cfg := tdram.NewSystemConfig(d, wl, capacity)
+		cfg.RequestsPerCore = 6000
+		res, err := tdram.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	cl := run(tdram.CascadeLake)
+	td := run(tdram.TDRAM)
+
+	fmt.Printf("%-22s %14s %14s\n", "", "cascade-lake", "tdram")
+	fmt.Printf("%-22s %12.1fns %12.1fns\n", "avg tag check", cl.Cache.TagCheck.Value(), td.Cache.TagCheck.Value())
+	fmt.Printf("%-22s %12.1fns %12.1fns\n", "avg read queueing", cl.Cache.ReadQueueing.Value(), td.Cache.ReadQueueing.Value())
+	fmt.Printf("%-22s %12.1fns %12.1fns\n", "avg read latency", cl.Cache.ReadLatency.Value(), td.Cache.ReadLatency.Value())
+	fmt.Printf("%-22s %14v %14v\n", "runtime", cl.Runtime, td.Runtime)
+	fmt.Printf("%-22s %14.2f %14.2f\n", "bandwidth bloat", cl.Cache.BloatFactor(), td.Cache.BloatFactor())
+	fmt.Printf("%-22s %12.3fmJ %12.3fmJ\n", "cache-device energy", cl.Energy.Cache.Total()*1e3, td.Energy.Cache.Total()*1e3)
+	fmt.Printf("%-22s %12.3fmJ %12.3fmJ\n", "total memory energy", cl.Energy.Total()*1e3, td.Energy.Total()*1e3)
+
+	fmt.Printf("\nTDRAM: %.2fx faster tag check, %.2fx speedup, %.0f%% less cache energy\n",
+		cl.Cache.TagCheck.Value()/td.Cache.TagCheck.Value(),
+		float64(cl.Runtime)/float64(td.Runtime),
+		(1-td.Energy.Cache.Total()/cl.Energy.Cache.Total())*100)
+	fmt.Printf("TDRAM probes: %d early tag checks, %d misses retired from the read queue early\n",
+		td.Cache.Probes, td.Cache.ProbeMissClean)
+}

@@ -1,0 +1,49 @@
+// Setassoc reproduces the §V-F study: TDRAM's in-DRAM comparators work
+// for set-associative caches too (each way of a set gets its own
+// comparator), but the paper's HPC workloads have so few conflict
+// misses that 1/2/4/8/16 ways perform alike. A synthetic conflict-heavy
+// workload is included to show associativity *can* matter when the
+// access pattern calls for it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tdram"
+)
+
+func main() {
+	const capacity = 16 << 20
+	ways := []int{1, 2, 4, 8, 16}
+
+	for _, wl := range []tdram.Workload{
+		tdram.MustWorkload("bt.C"),
+		tdram.MustWorkload("cg.D"),
+		{
+			// A same-set conflict pattern — the classic case associativity
+			// rescues: 1024 rings of 4 lines spaced one cache capacity
+			// apart, so a direct-mapped cache thrashes while >= 4 ways
+			// hold every ring.
+			Name: "conflict-heavy", Suite: "synthetic",
+			FootprintRatio: 0.5, WriteFrac: 0.2, ScanFrac: 0.2,
+			HotFrac: 0.2, HotRatio: 0.05, ThinkNS: 7.5,
+			ConflictFrac: 0.6, ConflictSets: 1024, ConflictDepth: 4,
+		},
+	} {
+		fmt.Printf("workload %s:\n", wl.Name)
+		fmt.Printf("  %-6s %-12s %-12s\n", "ways", "miss-ratio", "runtime")
+		for _, w := range ways {
+			cfg := tdram.NewSystemConfig(tdram.TDRAM, wl, capacity)
+			cfg.RequestsPerCore = 5000
+			cfg.Cache.Ways = w
+			res, err := tdram.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-6d %-12.3f %-12v\n", w, res.Cache.Outcomes.MissRatio(), res.Runtime)
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper: the HPC workloads gain nothing from associativity (negligible conflict misses)")
+}

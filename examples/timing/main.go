@@ -1,0 +1,83 @@
+// Timing renders ASCII timing diagrams of TDRAM transactions straight
+// from the device engine — the reproduction's equivalent of the paper's
+// Figs. 5-7: a pipelined read burst (with the HM results landing well
+// before the data), a write, and early tag probes squeezed into unused
+// command-bus slots.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"tdram/internal/dram"
+	"tdram/internal/sim"
+)
+
+func main() {
+	s := sim.New()
+	p := dram.CacheDeviceParams(16 << 20)
+	p.TREFI = 0 // keep the diagram clean
+	ch := dram.NewChannel(s, &p, 0)
+
+	fmt.Println("TDRAM pipelined reads (paper Fig. 5): ActRd on four banks")
+	fmt.Print("HM results arrive at cmd+15ns; data at cmd+30..32ns\n\n")
+	var rows []row
+	for bank := 0; bank < 4; bank++ {
+		op := dram.Op{Kind: dram.OpRead, Bank: bank, Tag: true}
+		iss := ch.Commit(op, ch.Earliest(op, 0))
+		rows = append(rows, row{fmt.Sprintf("ActRd b%d", bank), iss})
+	}
+	draw(rows, 40)
+
+	fmt.Println("\nTDRAM write (paper Fig. 6): ActWr, data at cmd+13ns")
+	op := dram.Op{Kind: dram.OpWrite, Bank: 8, Tag: true}
+	iss := ch.Commit(op, ch.Earliest(op, 0))
+	draw([]row{{"ActWr b8", iss}}, 40)
+
+	fmt.Println("\nEarly tag probing (paper Fig. 7): probes in spare CA slots")
+	fmt.Print("while the data banks of b0..b3 are still busy\n\n")
+	var prows []row
+	for bank := 12; bank < 15; bank++ {
+		op := dram.Op{Kind: dram.OpProbe, Bank: bank}
+		iss := ch.Commit(op, ch.Earliest(op, 0))
+		prows = append(prows, row{fmt.Sprintf("Probe b%d", bank), iss})
+	}
+	draw(prows, 40)
+}
+
+type row struct {
+	label string
+	iss   dram.Issue
+}
+
+// draw renders one character per nanosecond: C command, H hit-miss
+// result at the controller, = data on the DQ bus.
+func draw(rows []row, ns int) {
+	fmt.Printf("%-10s %s\n", "", ruler(ns))
+	for _, r := range rows {
+		lane := []byte(strings.Repeat(".", ns))
+		put := func(at sim.Tick, c byte) {
+			i := int(at / sim.Nanosecond)
+			if i >= 0 && i < ns {
+				lane[i] = c
+			}
+		}
+		put(r.iss.At, 'C')
+		if r.iss.HMAt > 0 {
+			put(r.iss.HMAt, 'H')
+		}
+		for t := r.iss.DataStart; t < r.iss.DataEnd; t += sim.Nanosecond {
+			put(t, '=')
+		}
+		fmt.Printf("%-10s %s\n", r.label, lane)
+	}
+}
+
+func ruler(ns int) string {
+	b := []byte(strings.Repeat(" ", ns))
+	for i := 0; i < ns; i += 10 {
+		s := fmt.Sprintf("%d", i)
+		copy(b[i:], s)
+	}
+	return string(b)
+}

@@ -1,0 +1,3 @@
+module tdram
+
+go 1.22

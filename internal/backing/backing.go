@@ -1,0 +1,223 @@
+// Package backing models the system's main memory: the paper's 2-channel
+// DDR5 backing store (Table III) behind per-channel read/write queues
+// with FR-FCFS scheduling and write draining.
+package backing
+
+import (
+	"fmt"
+
+	"tdram/internal/dram"
+	"tdram/internal/sim"
+	"tdram/internal/stats"
+)
+
+// QueueDepth is the per-channel read and write buffer depth (Table III).
+const QueueDepth = 64
+
+// drain thresholds: the controller switches to write draining when the
+// write queue reaches hiWater and back to read-priority at loWater.
+const (
+	hiWater = QueueDepth * 3 / 4
+	loWater = QueueDepth / 4
+)
+
+// Stats aggregates backing-store measurements.
+type Stats struct {
+	Reads, Writes      uint64
+	ReadQueueing       stats.Mean // ns from enqueue to command issue
+	ReadLatency        stats.Mean // ns from enqueue to data at controller
+	BytesRead          uint64
+	BytesWritten       uint64
+	QueueFullRejects   uint64
+	WriteDrainSwitches uint64
+}
+
+// Memory is the DDR5 main memory.
+type Memory struct {
+	sim   *sim.Simulator
+	dev   *dram.Device
+	chans []*channelCtl
+	stats Stats
+}
+
+// New builds the backing store on s with the given device parameters
+// (usually dram.DDR5Params).
+func New(s *sim.Simulator, p dram.Params) (*Memory, error) {
+	dev, err := dram.NewDevice(s, p)
+	if err != nil {
+		return nil, err
+	}
+	m := &Memory{sim: s, dev: dev}
+	m.chans = make([]*channelCtl, dev.Channels())
+	for i := range m.chans {
+		m.chans[i] = &channelCtl{mem: m, ch: dev.Channel(i)}
+	}
+	return m, nil
+}
+
+// Stats returns the accumulated measurements.
+func (m *Memory) Stats() *Stats { return &m.stats }
+
+// Device exposes the underlying DRAM device (for energy accounting).
+func (m *Memory) Device() *dram.Device { return m.dev }
+
+// Read enqueues a read of one line; done fires when data arrives at the
+// controller. It reports false (and does nothing) when the target
+// channel's read queue is full — the caller must retry.
+func (m *Memory) Read(line uint64, done func()) bool {
+	c := m.dev.Coord(line)
+	return m.chans[c.Channel].enqueue(&mmReq{bank: c.Bank, row: c.Row, write: false, arrive: m.sim.Now(), done: done})
+}
+
+// Write enqueues a posted write of one line (a DRAM-cache fill's eviction
+// or writeback). It reports false when the write queue is full.
+func (m *Memory) Write(line uint64) bool {
+	c := m.dev.Coord(line)
+	return m.chans[c.Channel].enqueue(&mmReq{bank: c.Bank, row: c.Row, write: true, arrive: m.sim.Now()})
+}
+
+// ReadQueueFree reports whether the read queue routing line has space.
+func (m *Memory) ReadQueueFree(line uint64) bool {
+	ch, _ := m.dev.Route(line)
+	return len(m.chans[ch].readQ) < QueueDepth
+}
+
+type mmReq struct {
+	bank   int
+	row    int
+	write  bool
+	arrive sim.Tick
+	done   func()
+}
+
+// channelCtl schedules one DDR5 channel.
+type channelCtl struct {
+	mem      *Memory
+	ch       *dram.Channel
+	readQ    []*mmReq
+	writeQ   []*mmReq
+	draining bool
+	retryAt  sim.Tick // earliest pending retry event, 0 = none
+	retryGen uint64   // invalidates superseded retry events
+}
+
+func (c *channelCtl) enqueue(r *mmReq) bool {
+	q := &c.readQ
+	if r.write {
+		q = &c.writeQ
+	}
+	if len(*q) >= QueueDepth {
+		c.mem.stats.QueueFullRejects++
+		return false
+	}
+	*q = append(*q, r)
+	c.schedule()
+	return true
+}
+
+// schedule issues every command that can start now and arranges a retry
+// at the earliest future feasible time otherwise.
+func (c *channelCtl) schedule() {
+	now := c.mem.sim.Now()
+	for {
+		// Drain-mode hysteresis.
+		if c.draining {
+			if len(c.writeQ) <= loWater {
+				c.draining = false
+			}
+		} else if len(c.writeQ) >= hiWater {
+			c.draining = true
+			c.mem.stats.WriteDrainSwitches++
+		}
+
+		q := &c.readQ
+		if c.draining || len(c.readQ) == 0 {
+			q = &c.writeQ
+		}
+		if len(*q) == 0 {
+			return
+		}
+
+		// FR-FCFS over a close-page stream degenerates to "oldest request
+		// whose bank is ready": find the first queue entry issuable now;
+		// otherwise remember the earliest future time. The scan is capped
+		// at a 16-entry scheduling window, as in real controllers.
+		best := -1
+		bestAt := sim.Tick(-1)
+		for i, r := range *q {
+			if i >= 16 {
+				break
+			}
+			op := dram.Op{Kind: dram.OpRead, Bank: r.bank, Row: r.row}
+			if r.write {
+				op.Kind = dram.OpWrite
+			}
+			at := c.ch.Earliest(op, now)
+			if at == now {
+				best = i
+				bestAt = at
+				break
+			}
+			if bestAt < 0 || at < bestAt {
+				bestAt = at
+			}
+		}
+		if best < 0 {
+			c.retry(bestAt)
+			return
+		}
+
+		r := (*q)[best]
+		*q = append((*q)[:best], (*q)[best+1:]...)
+		op := dram.Op{Kind: dram.OpRead, Bank: r.bank, Row: r.row}
+		if r.write {
+			op.Kind = dram.OpWrite
+		}
+		iss := c.ch.Commit(op, bestAt)
+		st := &c.mem.stats
+		if r.write {
+			st.Writes++
+			st.BytesWritten += 64
+		} else {
+			st.Reads++
+			st.BytesRead += 64
+			st.ReadQueueing.AddTick(bestAt - r.arrive)
+			st.ReadLatency.AddTick(iss.DataEnd - r.arrive)
+			if r.done != nil {
+				req := r
+				c.mem.sim.ScheduleAt(iss.DataEnd, req.done)
+			}
+		}
+	}
+}
+
+func (c *channelCtl) retry(at sim.Tick) {
+	if at <= c.mem.sim.Now() {
+		panic(fmt.Sprintf("backing: retry at %v not in the future", at))
+	}
+	if c.retryAt != 0 && c.retryAt <= at {
+		return // an earlier retry is already scheduled
+	}
+	// Each armed retry supersedes any previously scheduled one; stale
+	// events check the generation and die silently, so retries cannot
+	// multiply.
+	c.retryAt = at
+	c.retryGen++
+	gen := c.retryGen
+	c.mem.sim.ScheduleAt(at, func() {
+		if gen != c.retryGen {
+			return
+		}
+		c.retryAt = 0
+		c.schedule()
+	})
+}
+
+// Pending reports queued requests across channels (tests/diagnostics).
+func (m *Memory) Pending() (reads, writes int) {
+	for _, c := range m.chans {
+		reads += len(c.readQ)
+		writes += len(c.writeQ)
+	}
+	return
+}

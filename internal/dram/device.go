@@ -1,0 +1,61 @@
+package dram
+
+import (
+	"tdram/internal/mem"
+	"tdram/internal/sim"
+)
+
+// Device is a multi-channel DRAM device: the channels plus the address
+// mapping that routes line addresses to (channel, bank) coordinates.
+type Device struct {
+	p     Params
+	amap  mem.AddrMap
+	chans []*Channel
+}
+
+// NewDevice validates p and builds its channels on s.
+func NewDevice(s *sim.Simulator, p Params) (*Device, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{p: p, amap: p.AddrMap()}
+	d.chans = make([]*Channel, p.Channels)
+	for i := range d.chans {
+		d.chans[i] = NewChannel(s, &d.p, i)
+	}
+	return d, nil
+}
+
+// Params returns the device parameters.
+func (d *Device) Params() *Params { return &d.p }
+
+// Channels reports the channel count.
+func (d *Device) Channels() int { return len(d.chans) }
+
+// Channel returns channel i.
+func (d *Device) Channel(i int) *Channel { return d.chans[i] }
+
+// Route decodes a line address to its channel index and bank.
+func (d *Device) Route(line uint64) (channel, bank int) {
+	c := d.amap.Decode(line)
+	return c.Channel, c.Bank
+}
+
+// Coord decodes a line address fully (open-page callers need the row).
+func (d *Device) Coord(line uint64) mem.Coord { return d.amap.Decode(line) }
+
+// Stats aggregates activity counters across channels.
+func (d *Device) Stats() ChannelStats {
+	var total ChannelStats
+	for _, c := range d.chans {
+		s := c.Stats()
+		total.Activates += s.Activates
+		total.TagActivates += s.TagActivates
+		total.Probes += s.Probes
+		total.Refreshes += s.Refreshes
+		total.HMTransfers += s.HMTransfers
+		total.RowHits += s.RowHits
+		total.Precharges += s.Precharges
+	}
+	return total
+}

@@ -1,0 +1,161 @@
+package dram
+
+import (
+	"fmt"
+
+	"tdram/internal/sim"
+)
+
+// Dir is a DQ transfer direction.
+type Dir uint8
+
+const (
+	DirRead  Dir = iota // device -> controller
+	DirWrite            // controller -> device
+)
+
+func (d Dir) String() string {
+	if d == DirWrite {
+		return "wr"
+	}
+	return "rd"
+}
+
+// dqInterval is one reserved transfer on the data bus.
+type dqInterval struct {
+	start, end sim.Tick
+	dir        Dir
+}
+
+// DQBus models the bidirectional data bus of one channel. Unlike a plain
+// Timeline it is direction-aware: a turnaround margin must separate
+// transfers of opposite direction. These turnaround bubbles are exactly
+// the cost the paper's flush buffer avoids on write-miss-dirty.
+type DQBus struct {
+	rtw, wtr sim.Tick // read->write and write->read margins
+	busy     []dqInterval
+	prune    sim.Tick
+	// turnarounds counts direction switches committed, for stats.
+	turnarounds uint64
+}
+
+// NewDQBus returns a bus with the given turnaround margins.
+func NewDQBus(rtw, wtr sim.Tick) *DQBus { return &DQBus{rtw: rtw, wtr: wtr} }
+
+// Turnarounds reports how many direction switches have been reserved.
+func (b *DQBus) Turnarounds() uint64 { return b.turnarounds }
+
+// gapBefore returns the margin needed after an interval of direction
+// prev before one of direction next may start.
+func (b *DQBus) gapBefore(prev, next Dir) sim.Tick {
+	if prev == next {
+		return 0
+	}
+	if prev == DirRead {
+		return b.rtw
+	}
+	return b.wtr
+}
+
+// FirstFree returns the earliest start >= earliest at which a transfer of
+// the given length and direction fits, honoring turnaround margins
+// against both neighbours.
+func (b *DQBus) FirstFree(earliest, dur sim.Tick, dir Dir) sim.Tick {
+	if dur <= 0 {
+		return earliest
+	}
+	start := earliest
+	for i := 0; i <= len(b.busy); i++ {
+		// Margin required after the previous interval.
+		if i > 0 {
+			prev := b.busy[i-1]
+			if min := prev.end + b.gapBefore(prev.dir, dir); start < min {
+				start = min
+			}
+		}
+		if i == len(b.busy) {
+			return start
+		}
+		next := b.busy[i]
+		// Fits before next (with margin toward next)?
+		if start+dur+b.gapBefore(dir, next.dir) <= next.start {
+			return start
+		}
+		// Otherwise continue past next.
+		if start < next.end {
+			start = next.end
+		}
+	}
+	return start
+}
+
+// FreeAt reports whether a dir-transfer may occupy [start, start+dur).
+func (b *DQBus) FreeAt(start, dur sim.Tick, dir Dir) bool {
+	return b.FirstFree(start, dur, dir) == start
+}
+
+// Reserve commits the transfer. It panics on conflict, as Timeline does.
+func (b *DQBus) Reserve(start, dur sim.Tick, dir Dir) {
+	if dur <= 0 {
+		return
+	}
+	if !b.FreeAt(start, dur, dir) {
+		panic(fmt.Sprintf("dram: dq bus: conflicting %v reservation at %v+%v", dir, start, dur))
+	}
+	i := 0
+	for i < len(b.busy) && b.busy[i].start < start {
+		i++
+	}
+	if i > 0 && b.busy[i-1].dir != dir {
+		b.turnarounds++
+	}
+	if i < len(b.busy) && b.busy[i].dir != dir {
+		b.turnarounds++
+	}
+	end := start + dur
+	// Merge with same-direction abutting neighbours so a saturated
+	// stream keeps the busy list short.
+	if i > 0 && b.busy[i-1].dir == dir && b.busy[i-1].end == start {
+		b.busy[i-1].end = end
+		if i < len(b.busy) && b.busy[i].dir == dir && b.busy[i].start == end {
+			b.busy[i-1].end = b.busy[i].end
+			b.busy = append(b.busy[:i], b.busy[i+1:]...)
+		}
+		return
+	}
+	if i < len(b.busy) && b.busy[i].dir == dir && b.busy[i].start == end {
+		b.busy[i].start = start
+		return
+	}
+	b.busy = append(b.busy, dqInterval{})
+	copy(b.busy[i+1:], b.busy[i:])
+	b.busy[i] = dqInterval{start, end, dir}
+}
+
+// Release drops bookkeeping for transfers ending at or before now, but
+// always keeps the most recent interval so turnaround margins against the
+// past remain enforced.
+func (b *DQBus) Release(now sim.Tick) {
+	if now <= b.prune {
+		return
+	}
+	b.prune = now
+	i := 0
+	for i < len(b.busy)-1 && b.busy[i+1].end <= now {
+		i++
+	}
+	if i > 0 {
+		b.busy = b.busy[i:]
+	}
+}
+
+// Intervals reports tracked reservations (tests).
+func (b *DQBus) Intervals() int { return len(b.busy) }
+
+// BusyUntil reports the end of the latest reservation.
+func (b *DQBus) BusyUntil() sim.Tick {
+	if len(b.busy) == 0 {
+		return 0
+	}
+	return b.busy[len(b.busy)-1].end
+}

@@ -1,0 +1,166 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdram/internal/sim"
+)
+
+func openParams() Params {
+	p := CacheDeviceParams(64 << 20)
+	// Strip the tag banks; open-page is a tags-with-data ablation.
+	p.TRCDTag, p.THM, p.THMInt, p.TRCTag = 0, 0, 0, 0
+	p.OpenPage = true
+	p.TREFI = 0
+	return p
+}
+
+func TestOpenPageValidation(t *testing.T) {
+	p := CacheDeviceParams(64 << 20)
+	p.OpenPage = true
+	if p.Validate() == nil {
+		t.Error("open-page with tag banks validated")
+	}
+	q := openParams()
+	q.TRTP = 0
+	if q.Validate() == nil {
+		t.Error("open-page without tRTP validated")
+	}
+	ok := openParams()
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenPageRowHitSkipsTRCD(t *testing.T) {
+	s := sim.New()
+	p := openParams()
+	c := NewChannel(s, &p, 0)
+	first := c.Commit(Op{Kind: OpRead, Bank: 0, Row: 7}, 0)
+	// Cold bank: activate + column: data at tRCD + tCL = 30 ns.
+	if first.DataStart != sim.NS(30) {
+		t.Fatalf("cold read data at %v, want 30ns", first.DataStart)
+	}
+	op := Op{Kind: OpRead, Bank: 0, Row: 7}
+	at := c.Earliest(op, sim.NS(40))
+	hit := c.Commit(op, at)
+	// Row hit: column only, data at cmd + tCL = 18 ns later.
+	if got := hit.DataStart - hit.At; got != sim.NS(18) {
+		t.Errorf("row-hit data offset = %v, want tCL = 18ns", got)
+	}
+	if c.Stats().RowHits != 1 {
+		t.Errorf("row hits = %d", c.Stats().RowHits)
+	}
+	if c.Stats().Activates != 1 {
+		t.Errorf("activates = %d, want 1 (hit must not activate)", c.Stats().Activates)
+	}
+}
+
+func TestOpenPageConflictPaysPrecharge(t *testing.T) {
+	s := sim.New()
+	p := openParams()
+	c := NewChannel(s, &p, 0)
+	c.Commit(Op{Kind: OpRead, Bank: 0, Row: 1}, 0)
+	op := Op{Kind: OpRead, Bank: 0, Row: 2}
+	at := c.Earliest(op, 0)
+	// The conflict may not precharge before tRAS (28 ns) and, after the
+	// read's column op at tRCD=12, not before tRCD+tRTP (19.5 ns): so
+	// the compound PRE+ACT issues at 28 ns.
+	if at != p.TRAS {
+		t.Fatalf("conflict command at %v, want tRAS = %v", at, p.TRAS)
+	}
+	iss := c.Commit(op, at)
+	// Data at PRE + tRP + tRCD + tCL = 28 + 14 + 12 + 18 = 72 ns.
+	if iss.DataStart != sim.NS(72) {
+		t.Errorf("conflict data at %v, want 72ns", iss.DataStart)
+	}
+	if c.Stats().Precharges != 1 {
+		t.Errorf("precharges = %d", c.Stats().Precharges)
+	}
+}
+
+func TestOpenPageWriteRecoveryBeforeConflict(t *testing.T) {
+	s := sim.New()
+	p := openParams()
+	c := NewChannel(s, &p, 0)
+	w := c.Commit(Op{Kind: OpWrite, Bank: 0, Row: 1}, 0)
+	op := Op{Kind: OpRead, Bank: 0, Row: 9}
+	at := c.Earliest(op, 0)
+	// Precharge must wait for write recovery: data end + tWR.
+	if at < w.DataEnd+p.TWR {
+		t.Errorf("conflict at %v before write recovery %v", at, w.DataEnd+p.TWR)
+	}
+}
+
+func TestOpenPageRefreshClosesRows(t *testing.T) {
+	s := sim.New()
+	p := openParams()
+	p.TREFI = sim.NS(3900)
+	p.TRFC = sim.NS(260)
+	c := NewChannel(s, &p, 0)
+	c.Commit(Op{Kind: OpRead, Bank: 0, Row: 3}, 0)
+	s.Run(sim.NS(4000)) // cross one refresh
+	op := Op{Kind: OpRead, Bank: 0, Row: 3}
+	at := c.Earliest(op, s.Now())
+	iss := c.Commit(op, at)
+	// The refresh closed the row: this is an activate again (tRCD+tCL
+	// offset), not a column-only hit.
+	if got := iss.DataStart - iss.At; got != sim.NS(30) {
+		t.Errorf("post-refresh access offset = %v, want 30ns (row closed)", got)
+	}
+}
+
+func TestOpenPageStreamBandwidth(t *testing.T) {
+	// Same-row streaming must sustain one 64 B column per tBURST.
+	s := sim.New()
+	p := openParams()
+	c := NewChannel(s, &p, 0)
+	var last Issue
+	for i := 0; i < 32; i++ {
+		op := Op{Kind: OpRead, Bank: 0, Row: 5}
+		at := c.Earliest(op, 0)
+		last = c.Commit(op, at)
+	}
+	// First data at 30 ns; 32 back-to-back bursts end at 30 + 32*2 = 94.
+	if last.DataEnd != sim.NS(94) {
+		t.Errorf("stream end = %v, want 94ns", last.DataEnd)
+	}
+	if c.Stats().RowHits != 31 {
+		t.Errorf("row hits = %d, want 31", c.Stats().RowHits)
+	}
+}
+
+// Property: random open-page op sequences always commit at their
+// Earliest time (the two paths agree), with no bus conflicts.
+func TestOpenPageEarliestCommitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New()
+		p := openParams()
+		p.TREFI = sim.NS(3900)
+		p.TRFC = sim.NS(260)
+		c := NewChannel(s, &p, 0)
+		now := sim.Tick(0)
+		for i := 0; i < 300; i++ {
+			kind := OpRead
+			if rng.Intn(2) == 1 {
+				kind = OpWrite
+			}
+			op := Op{Kind: kind, Bank: rng.Intn(4), Row: rng.Intn(3)}
+			at := c.Earliest(op, now)
+			if at < now {
+				return false
+			}
+			s.Run(at) // let refresh daemons fire up to the issue time
+			at2 := c.Earliest(op, at)
+			c.Commit(op, at2) // panics on disagreement or double-booking
+			now = at2
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package dram implements the cycle-level DRAM device engine shared by
+// the HBM3-like cache device and the DDR5 backing store: per-channel CA
+// and DQ buses, close-page bank timing state machines, activation-window
+// constraints (tRRD/tFAW), refresh, and — for tag-enhanced devices — the
+// separate low-latency tag banks and the Hit-Miss bus from the paper.
+package dram
+
+import (
+	"fmt"
+
+	"tdram/internal/mem"
+	"tdram/internal/sim"
+)
+
+// Params holds the geometry and timing of one DRAM device type. Timing
+// values for the cache device are the paper's Table III, verbatim.
+type Params struct {
+	Name string
+
+	// Geometry. Banks counts logical (paired) banks providing 64 B
+	// access granularity (§III-C1).
+	Channels int
+	Banks    int
+	Columns  int // 64 B columns per row
+	Rows     int
+
+	// Command & data timing.
+	TCMD   sim.Tick // CA bus occupancy of one command
+	TBURST sim.Tick // DQ occupancy of one 64 B transfer
+	TRCD   sim.Tick // ACT to internal RD
+	TRCDWR sim.Tick // ACT to internal WR
+	TRP    sim.Tick // precharge
+	TRAS   sim.Tick // ACT to precharge-allowed
+	TCL    sim.Tick // RD to data
+	TCWL   sim.Tick // WR to data
+	TWR    sim.Tick // write recovery before precharge
+	TRRD   sim.Tick // ACT-to-ACT, channel
+	TFAW   sim.Tick // four-activate window (the paper's tXAW)
+	TRTP   sim.Tick // read-to-precharge (open-page policy)
+	TRTW   sim.Tick // DQ read-to-write turnaround margin
+	TWTR   sim.Tick // DQ write-to-read turnaround margin
+
+	// OpenPage keeps rows open between plain accesses instead of the
+	// paper's close-page auto-precharge. Incompatible with tag banks:
+	// ActRd/ActWr are defined with auto-precharge.
+	OpenPage bool
+
+	// Refresh.
+	TREFI sim.Tick // refresh interval
+	TRFC  sim.Tick // refresh cycle (banks unavailable)
+
+	// Tag-bank extension (TDRAM / NDC devices; zero TRCTag disables).
+	TRCDTag sim.Tick // ACT to tag ready in the tag mats
+	THMInt  sim.Tick // tag-ready to internal hit/miss (gates column decode)
+	THM     sim.Tick // tag-ready to result available at the controller
+	TRCTag  sim.Tick // tag bank cycle time
+	TRRDTag sim.Tick // tag-bank ACT-to-ACT, channel
+	THMBus  sim.Tick // HM bus occupancy per result (6 beats of a 4 b bus at 8 Gb/s)
+}
+
+// HasTagBanks reports whether this device has the separate tag storage.
+func (p *Params) HasTagBanks() bool { return p.TRCTag > 0 }
+
+// Validate rejects non-positive geometry or obviously inconsistent
+// timing.
+func (p *Params) Validate() error {
+	if p.Channels <= 0 || p.Banks <= 0 || p.Columns <= 0 || p.Rows <= 0 {
+		return fmt.Errorf("dram: %s: non-positive geometry", p.Name)
+	}
+	if p.TBURST <= 0 || p.TRCD <= 0 || p.TCL <= 0 || p.TRAS <= 0 || p.TRP <= 0 {
+		return fmt.Errorf("dram: %s: non-positive core timing", p.Name)
+	}
+	if p.HasTagBanks() && (p.TRCDTag <= 0 || p.THM <= 0 || p.THMInt <= 0) {
+		return fmt.Errorf("dram: %s: tag banks enabled with incomplete tag timing", p.Name)
+	}
+	if p.OpenPage && p.HasTagBanks() {
+		return fmt.Errorf("dram: %s: open-page policy is incompatible with tag-lockstep commands", p.Name)
+	}
+	if p.OpenPage && p.TRTP <= 0 {
+		return fmt.Errorf("dram: %s: open-page policy needs tRTP", p.Name)
+	}
+	return nil
+}
+
+// AddrMap returns the RoCoRaBaCh mapping for this geometry.
+func (p *Params) AddrMap() mem.AddrMap {
+	return mem.AddrMap{Channels: p.Channels, Banks: p.Banks, Columns: p.Columns, Rows: p.Rows}
+}
+
+// ReadBankBusy reports how long a bank is occupied by one close-page read
+// access (ACT … auto-precharge completed).
+func (p *Params) ReadBankBusy() sim.Tick { return p.TRAS + p.TRP }
+
+// WriteBankBusy reports the close-page write occupancy, including write
+// recovery.
+func (p *Params) WriteBankBusy() sim.Tick {
+	core := p.TRCDWR + p.TCWL + p.TBURST + p.TWR
+	if core < p.TRAS {
+		core = p.TRAS
+	}
+	return core + p.TRP
+}
+
+// ReadDataOffset is the fixed command-to-DQ offset for reads.
+func (p *Params) ReadDataOffset() sim.Tick { return p.TRCD + p.TCL }
+
+// WriteDataOffset is the fixed command-to-DQ offset for writes.
+func (p *Params) WriteDataOffset() sim.Tick { return p.TRCDWR + p.TCWL }
+
+// HMOffset is the fixed command-to-HM-result offset (result at the
+// controller), tRCD_TAG + tHM (§III-C4: 15 ns).
+func (p *Params) HMOffset() sim.Tick { return p.TRCDTag + p.THM }
+
+// TagInternalOffset is when the in-DRAM comparator output gates the data
+// mats' column decode, tRCD_TAG + tHM_int (§III-C4: 10 ns < tRCD = 12 ns,
+// hiding tag access behind data-mat activation).
+func (p *Params) TagInternalOffset() sim.Tick { return p.TRCDTag + p.THMInt }
+
+// CacheDeviceParams returns the HBM3-based TDRAM-capable cache-device
+// parameters from Table III for the given total capacity. The device has
+// 8 channels of 32 GiB/s (64 B per 2 ns burst).
+func CacheDeviceParams(capacityBytes uint64) Params {
+	p := Params{
+		Name:     "hbm3-cache",
+		Channels: 8,
+		Banks:    16,
+		Columns:  32,
+
+		TCMD:   sim.NS(0.5),
+		TBURST: sim.NS(2),
+		TRCD:   sim.NS(12),
+		TRCDWR: sim.NS(6),
+		TRP:    sim.NS(14),
+		TRAS:   sim.NS(28),
+		TCL:    sim.NS(18),
+		TCWL:   sim.NS(7),
+		TWR:    sim.NS(14),
+		TRRD:   sim.NS(2),
+		TFAW:   sim.NS(16),
+		TRTP:   sim.NS(7.5),
+		TRTW:   sim.NS(3),
+		TWTR:   sim.NS(3),
+		TREFI:  sim.NS(3900),
+		TRFC:   sim.NS(260),
+
+		TRCDTag: sim.NS(7.5),
+		THMInt:  sim.NS(2.5),
+		THM:     sim.NS(7.5),
+		TRCTag:  sim.NS(12),
+		TRRDTag: sim.NS(2),
+		THMBus:  sim.NS(0.75),
+	}
+	p.Rows = rowsFor(capacityBytes, p)
+	return p
+}
+
+// DDR5Params returns the 2-channel, 32 GiB/s-per-channel DDR5 backing
+// store (Table III) with representative DDR5-6400 core timings.
+func DDR5Params() Params {
+	p := Params{
+		Name:     "ddr5-main",
+		Channels: 2,
+		Banks:    32,
+		Columns:  64,
+
+		TCMD:   sim.NS(1),
+		TBURST: sim.NS(2),
+		TRCD:   sim.NS(16),
+		TRCDWR: sim.NS(16),
+		TRP:    sim.NS(16),
+		TRAS:   sim.NS(32),
+		TCL:    sim.NS(16),
+		TCWL:   sim.NS(14),
+		TWR:    sim.NS(30),
+		// The engine models close-page (one column op per activation).
+		// Real DDR5 reaches its rated bandwidth with open rows and long
+		// bursts; to let this close-page approximation sustain the
+		// paper's 32 GiB/s per channel we use bank-group-interleaved
+		// activate pacing matching the 2 ns burst rate.
+		TRRD:  sim.NS(2),
+		TFAW:  sim.NS(16),
+		TRTW:  sim.NS(4),
+		TWTR:  sim.NS(6),
+		TREFI: sim.NS(3900),
+		TRFC:  sim.NS(295),
+	}
+	// The backing store accepts the whole physical address space; rows
+	// only size the address wrap, so give it a large fixed depth.
+	p.Rows = 1 << 16
+	return p
+}
+
+// rowsFor sizes the row dimension so the device holds capacityBytes.
+func rowsFor(capacityBytes uint64, p Params) int {
+	linesPerRowSlice := uint64(p.Channels) * uint64(p.Banks) * uint64(p.Columns)
+	rows := capacityBytes / mem.LineSize / linesPerRowSlice
+	if rows == 0 {
+		rows = 1
+	}
+	return int(rows)
+}

@@ -1,0 +1,430 @@
+package dramcache
+
+import (
+	"tdram/internal/dram"
+	"tdram/internal/mem"
+	"tdram/internal/sim"
+)
+
+// txnKind identifies the controller-internal transaction types.
+type txnKind uint8
+
+const (
+	// txnRead is a demand read performing (or having had) a tag check.
+	txnRead txnKind = iota
+	// txnWriteTagRead is the CL-family DRAM read issued on behalf of a
+	// write demand to learn hit/miss and fetch a potential dirty victim.
+	txnWriteTagRead
+	// txnWrite is a data write: CL-family demand data after its tag
+	// read, a BEAR bypassed write-hit, an Ideal write, or an NDC/TDRAM
+	// ActWr (which performs its own tag check at commit).
+	txnWrite
+	// txnFill writes fetched miss data into the cache; no tag-state
+	// transition (the miss already installed the line).
+	txnFill
+	// txnVictimRead fetches a dirty victim's data for writeback (Ideal).
+	txnVictimRead
+)
+
+// txn is one queued controller transaction.
+type txn struct {
+	kind   txnKind
+	req    *mem.Request // nil for fills
+	line   uint64
+	bank   int
+	row    int
+	arrive sim.Tick
+
+	outcomeKnown bool
+	outcome      mem.Outcome
+	victim       uint64
+	victimDirty  bool
+
+	probed        bool // TDRAM: outcome fixed by an early tag probe
+	probeResolved bool // the probe's HM result reached the controller
+
+	dep  *txn // issue only after dep.done (Ideal write-miss-dirty)
+	done bool
+
+	// Probed miss-dirty coordination: the fill may only be written after
+	// the victim was read out and the backing data arrived.
+	mmArrived  bool
+	victimDone bool
+
+	// Predictor bookkeeping (§V-D): a predicted-miss read starts its
+	// main-memory fetch in parallel with the tag check.
+	predStarted bool
+	predDataAt  sim.Tick
+	tagSaidMiss bool
+}
+
+// chanCtl schedules one cache-device channel: its read and write queues,
+// flush/victim buffer, probing, and drain modes.
+type chanCtl struct {
+	ctl   *Controller
+	ch    *dram.Channel
+	index int
+
+	readQ    []*txn
+	writeQ   []*txn
+	overflow []*txn // fills/writes awaiting write-queue space
+
+	flush []uint64 // victim lines parked in the on-die flush buffer
+
+	draining bool
+	retryAt  sim.Tick
+	retryGen uint64
+}
+
+func (cc *chanCtl) cfg() *Config    { return &cc.ctl.cfg }
+func (cc *chanCtl) now() sim.Tick   { return cc.ctl.sim.Now() }
+func (cc *chanCtl) tagDevice() bool { d := cc.cfg().Design; return d == TDRAM || d == NDC }
+func (cc *chanCtl) st() *Stats      { return &cc.ctl.stats }
+
+// acceptRead admits a demand read (design-specific intake).
+func (cc *chanCtl) acceptRead(req *mem.Request, bank int) bool {
+	line := req.Line()
+	if cc.cfg().Design == Ideal {
+		return cc.acceptReadIdeal(req, line, bank)
+	}
+	if len(cc.readQ) >= ReadQueueDepth {
+		return false
+	}
+	t := &txn{kind: txnRead, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now()}
+	if cc.ctl.predictor != nil {
+		if !cc.ctl.predictor.Predict(req.Core, line) && cc.ctl.mm.ReadQueueFree(line) {
+			// Predicted miss: start the backing fetch in parallel.
+			t.predStarted = true
+			cc.st().PredictorMissStarts++
+			cc.ctl.stats.MMReads++
+			cc.ctl.stats.Traffic.MMDemandBytes += 64
+			cc.ctl.mmMeter.Acts++
+			cc.ctl.mmMeter.Cols++
+			cc.ctl.mmMeter.Bytes += 64
+			cc.ctl.mm.Read(line, func() { cc.predictorData(t) })
+		}
+	}
+	cc.readQ = append(cc.readQ, t)
+	cc.pass()
+	return true
+}
+
+// acceptReadIdeal performs the zero-latency tag check at intake.
+func (cc *chanCtl) acceptReadIdeal(req *mem.Request, line uint64, bank int) bool {
+	// Reads that will need a queue slot must find one.
+	if len(cc.readQ) >= ReadQueueDepth {
+		return false
+	}
+	outcome, victim, _ := cc.ctl.tags.access(line, false, true)
+	cc.st().Outcomes.Add(outcome)
+	cc.ctl.sampleTagCheck(0)
+	switch outcome {
+	case mem.ReadHit:
+		cc.readQ = append(cc.readQ, &txn{
+			kind: txnRead, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
+			outcomeKnown: true, outcome: outcome,
+		})
+		cc.pass()
+	case mem.ReadMissClean:
+		cc.ctl.markInflight(line)
+		cc.ctl.missFetch(req, line, true)
+	case mem.ReadMissDirty:
+		cc.ctl.markInflight(line)
+		cc.ctl.missFetch(req, line, true)
+		vb := cc.bankOf(victim)
+		cc.readQ = append(cc.readQ, &txn{
+			kind: txnVictimRead, line: victim, bank: vb, row: cc.rowOf(victim), arrive: cc.now(),
+		})
+		cc.pass()
+	}
+	return true
+}
+
+// acceptWrite admits a (posted) demand write.
+func (cc *chanCtl) acceptWrite(req *mem.Request, bank int) bool {
+	line := req.Line()
+	switch cc.cfg().Design {
+	case CascadeLake, Alloy:
+		return cc.acceptWriteTagRead(req, line, bank)
+	case BEAR:
+		// DRAM-cache-presence bits: write-hits skip the tag-check read.
+		pr := cc.ctl.tags.probe(line)
+		if pr.Hit {
+			if len(cc.writeQ) >= WriteQueueDepth {
+				return false
+			}
+			// The DCP bit answers the write-hit without any tag read, so
+			// no tag-check latency sample exists for this demand.
+			outcome, _, _ := cc.ctl.tags.access(line, true, true)
+			cc.st().Outcomes.Add(outcome)
+			cc.ctl.bearObserve(line, outcome)
+			cc.writeQ = append(cc.writeQ, &txn{
+				kind: txnWrite, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
+				outcomeKnown: true, outcome: outcome,
+			})
+			cc.pass()
+			return true
+		}
+		return cc.acceptWriteTagRead(req, line, bank)
+	case NDC, TDRAM:
+		if len(cc.writeQ) >= WriteQueueDepth {
+			return false
+		}
+		cc.writeQ = append(cc.writeQ, &txn{
+			kind: txnWrite, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
+		})
+		cc.pass()
+		return true
+	case Ideal:
+		if len(cc.writeQ) >= WriteQueueDepth {
+			return false
+		}
+		outcome, victim, _ := cc.ctl.tags.access(line, true, true)
+		cc.st().Outcomes.Add(outcome)
+		w := &txn{
+			kind: txnWrite, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
+			outcomeKnown: true, outcome: outcome,
+		}
+		if outcome == mem.WriteMissDirty {
+			if len(cc.readQ) >= ReadQueueDepth {
+				return false
+			}
+			v := &txn{kind: txnVictimRead, line: victim, bank: cc.bankOf(victim), row: cc.rowOf(victim), arrive: cc.now()}
+			w.dep = v
+			cc.readQ = append(cc.readQ, v)
+		}
+		cc.writeQ = append(cc.writeQ, w)
+		cc.pass()
+		return true
+	}
+	panic("dramcache: unhandled design in acceptWrite")
+}
+
+// acceptWriteTagRead queues the CL-family tag-check read for a write.
+func (cc *chanCtl) acceptWriteTagRead(req *mem.Request, line uint64, bank int) bool {
+	if len(cc.readQ) >= ReadQueueDepth {
+		return false
+	}
+	cc.st().WriteTagReads++
+	cc.readQ = append(cc.readQ, &txn{
+		kind: txnWriteTagRead, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
+	})
+	cc.pass()
+	return true
+}
+
+// enqueueFill queues the write that installs fetched miss data.
+func (cc *chanCtl) enqueueFill(line uint64, bank int) {
+	t := &txn{kind: txnFill, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now()}
+	if len(cc.writeQ) >= WriteQueueDepth {
+		cc.overflow = append(cc.overflow, t)
+		return
+	}
+	cc.writeQ = append(cc.writeQ, t)
+	cc.pass()
+}
+
+// bankOf routes a line within this channel (victims share the set, hence
+// the channel, of the line that displaced them).
+func (cc *chanCtl) bankOf(line uint64) int {
+	_, bank := cc.ctl.dev.Route(line)
+	return bank
+}
+
+// rowOf decodes a line's row (open-page scheduling).
+func (cc *chanCtl) rowOf(line uint64) int {
+	return cc.ctl.dev.Coord(line).Row
+}
+
+// op builds the device operation for a transaction.
+func (cc *chanCtl) op(t *txn) dram.Op {
+	cfg := cc.cfg()
+	switch t.kind {
+	case txnRead, txnWriteTagRead, txnVictimRead:
+		return dram.Op{Kind: dram.OpRead, Bank: t.bank, Row: t.row, Tag: cc.tagDevice(), Burst: cfg.ReadBurst}
+	default: // txnWrite, txnFill
+		return dram.Op{Kind: dram.OpWrite, Bank: t.bank, Row: t.row, Tag: cc.tagDevice(), Burst: cfg.WriteBurst}
+	}
+}
+
+// issuable reports whether t may issue (dependencies and flush-buffer
+// space permitting).
+func (cc *chanCtl) issuable(t *txn) bool {
+	if t.dep != nil && !t.dep.done {
+		return false
+	}
+	if t.probed && !t.probeResolved {
+		// The controller acts on the probe's HM result before spending a
+		// MAIN slot on a request it may be about to retire.
+		return false
+	}
+	if t.kind == txnWrite && cc.tagDevice() && !t.outcomeKnown {
+		// An ActWr that would displace a dirty victim needs flush space.
+		pr := cc.ctl.tags.probe(t.line)
+		if !pr.Hit && pr.Dirty && len(cc.flush) >= cc.cfg().FlushEntries {
+			return false
+		}
+	}
+	return true
+}
+
+// pass is the scheduling loop: issue every command that can start now,
+// then arrange a retry at the earliest future opportunity.
+func (cc *chanCtl) pass() {
+	now := cc.now()
+	// Move overflowed fills into freed write-queue slots.
+	for len(cc.overflow) > 0 && len(cc.writeQ) < WriteQueueDepth {
+		cc.writeQ = append(cc.writeQ, cc.overflow[0])
+		cc.overflow = cc.overflow[1:]
+	}
+	issued := false
+	for {
+		if cc.draining {
+			if len(cc.writeQ) <= writeLoWater {
+				cc.draining = false
+			}
+		} else if len(cc.writeQ) >= writeHiWater {
+			cc.draining = true
+		}
+
+		// Forced victim-buffer drains: NDC drains with explicit RES
+		// commands once the buffer passes 3/4; TDRAM only when full
+		// (it prefers free slots, §III-D2).
+		if cc.needExplicitDrain() && cc.tryExplicitDrain(now) {
+			issued = true
+			continue
+		}
+
+		primary, secondary := &cc.readQ, &cc.writeQ
+		if cc.draining || len(cc.readQ) == 0 {
+			primary, secondary = &cc.writeQ, &cc.readQ
+		}
+		if t := cc.firstIssuable(*primary, now); t != nil {
+			cc.remove(primary, t)
+			cc.issue(t, now)
+			issued = true
+			continue
+		}
+		if t := cc.firstIssuable(*secondary, now); t != nil {
+			cc.remove(secondary, t)
+			cc.issue(t, now)
+			issued = true
+			continue
+		}
+		// No MAIN command fits: a TDRAM controller uses the free CA/HM
+		// slot for an early tag probe (§III-E).
+		if cc.cfg().ProbeEnabled && cc.tryProbe(now) {
+			issued = true
+			continue
+		}
+		break
+	}
+	cc.scheduleRetry(now)
+	if issued {
+		cc.ctl.retryUpstream()
+	}
+}
+
+// schedWindow caps how deep the FR-FCFS arbiter looks into a queue, as
+// real controllers' scheduling windows do; it also bounds the cost of a
+// scheduling pass.
+const schedWindow = 16
+
+// firstIssuable returns the oldest transaction issuable exactly now,
+// looking at most schedWindow candidates deep.
+func (cc *chanCtl) firstIssuable(q []*txn, now sim.Tick) *txn {
+	seen := 0
+	for _, t := range q {
+		if !cc.issuable(t) {
+			continue
+		}
+		if seen++; seen > schedWindow {
+			return nil
+		}
+		if cc.ch.Earliest(cc.op(t), now) == now {
+			return t
+		}
+	}
+	return nil
+}
+
+func (cc *chanCtl) remove(q *[]*txn, t *txn) {
+	for i, x := range *q {
+		if x == t {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+	panic("dramcache: transaction not in queue")
+}
+
+// scheduleRetry arms a wakeup at the earliest future issue opportunity
+// within the scheduling window.
+func (cc *chanCtl) scheduleRetry(now sim.Tick) {
+	best := sim.Tick(-1)
+	consider := func(q []*txn) {
+		seen := 0
+		for _, t := range q {
+			if !cc.issuable(t) {
+				continue
+			}
+			if seen++; seen > schedWindow {
+				return
+			}
+			at := cc.ch.Earliest(cc.op(t), now)
+			if best < 0 || at < best {
+				best = at
+			}
+		}
+	}
+	consider(cc.readQ)
+	consider(cc.writeQ)
+	if cc.needExplicitDrain() {
+		at := cc.ch.Earliest(dram.Op{Kind: dram.OpStreamRead}, now)
+		if best < 0 || at < best {
+			best = at
+		}
+	}
+	if best <= now {
+		if best == now {
+			// A same-tick opportunity can appear when an issuable txn was
+			// blocked by ordering; re-run on the next event boundary.
+			best = now + 1
+		} else {
+			return
+		}
+	}
+	if cc.retryAt != 0 && cc.retryAt <= best && cc.retryAt > now {
+		return
+	}
+	// Generation-tagged so superseded retry events die without spawning
+	// further retries.
+	cc.retryAt = best
+	cc.retryGen++
+	gen := cc.retryGen
+	cc.ctl.sim.ScheduleAt(best, func() {
+		if gen != cc.retryGen {
+			return
+		}
+		cc.retryAt = 0
+		cc.pass()
+	})
+}
+
+// issue commits one transaction's device operation and wires its
+// completion handling.
+func (cc *chanCtl) issue(t *txn, now sim.Tick) {
+	iss := cc.ch.Commit(cc.op(t), now)
+	switch t.kind {
+	case txnRead:
+		cc.issueRead(t, iss)
+	case txnWriteTagRead:
+		cc.issueWriteTagRead(t, iss)
+	case txnWrite:
+		cc.issueWrite(t, iss)
+	case txnFill:
+		cc.issueFill(t, iss)
+	case txnVictimRead:
+		cc.issueVictimRead(t, iss)
+	}
+}

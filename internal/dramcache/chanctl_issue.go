@@ -1,0 +1,432 @@
+package dramcache
+
+import (
+	"tdram/internal/dram"
+	"tdram/internal/mem"
+	"tdram/internal/sim"
+)
+
+// tagDoneAt reports when the hit/miss result of a committed access is
+// available at the controller: on the HM bus for TDRAM (§III-D1), with
+// the data/tag burst for every other design.
+func (cc *chanCtl) tagDoneAt(iss dram.Issue) sim.Tick {
+	if cc.cfg().Design == TDRAM {
+		return iss.HMAt
+	}
+	return iss.DataEnd
+}
+
+// recordTag samples the Fig. 9 tag-check latency at its arrival time.
+// Only read demands are sampled: their tag check gates the LLC response
+// and is the latency the figure compares; write tag activity affects
+// reads indirectly through read-buffer contention, which the queueing
+// samples capture.
+func (cc *chanCtl) recordTag(t *txn, at sim.Tick) {
+	if t.kind != txnRead {
+		return
+	}
+	cc.ctl.sim.ScheduleAt(at, func() {
+		cc.ctl.sampleTagCheck(at - t.arrive)
+	})
+}
+
+// meterColRead accounts one column read moving bytes to the controller.
+func (cc *chanCtl) meterColRead() {
+	cc.ctl.meter.Cols++
+	cc.ctl.meter.Bytes += cc.cfg().ReadBytes
+}
+
+func (cc *chanCtl) meterColWrite() {
+	cc.ctl.meter.Cols++
+	cc.ctl.meter.Bytes += cc.cfg().WriteBytes
+}
+
+// issueRead handles a committed demand-read access.
+func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
+	cfg := cc.cfg()
+	tr := &cc.st().Traffic
+	cc.st().ReadQueueing.AddTick(iss.At - t.arrive)
+
+	if t.outcomeKnown {
+		// Ideal read-hit, or a TDRAM access whose outcome a probe fixed.
+		switch t.outcome {
+		case mem.ReadHit:
+			cc.meterColRead()
+			tr.DemandBytes += 64
+			tr.OverheadBytes += cfg.ReadBytes - 64
+			cc.completeReadAt(t.req, iss.DataEnd)
+		case mem.ReadMissDirty:
+			// Probed miss-dirty: this access fetches the dirty victim;
+			// the demand's backing fetch started at probe time.
+			cc.meterColRead()
+			tr.VictimBytes += 64
+			tr.OverheadBytes += cfg.ReadBytes - 64
+			victim := t.victim
+			cc.ctl.sim.ScheduleAt(iss.DataEnd, func() {
+				cc.ctl.writeback(victim)
+				t.victimDone = true
+				if t.mmArrived {
+					cc.ctl.dispatchFill(t.line)
+				}
+			})
+		default:
+			panic("dramcache: unexpected pre-known read outcome " + t.outcome.String())
+		}
+		return
+	}
+
+	// The tag check commits with this access.
+	install := true
+	if cfg.Design == BEAR {
+		if pr := cc.ctl.tags.probe(t.line); !pr.Hit && cc.ctl.bearBypassFill(t.line) {
+			install = false
+			cc.st().FillsBypassed++
+		}
+	}
+	outcome, victim, _ := cc.ctl.tags.access(t.line, false, install)
+	t.outcome, t.outcomeKnown, t.victim = outcome, true, victim
+	cc.st().Outcomes.Add(outcome)
+	cc.ctl.bearObserve(t.line, outcome)
+	if cc.ctl.predictor != nil {
+		cc.ctl.predictor.Update(t.req.Core, t.line, outcome.IsHit())
+	}
+	tagAt := cc.tagDoneAt(iss)
+	cc.recordTag(t, tagAt)
+
+	switch outcome {
+	case mem.ReadHit:
+		cc.ctl.scorePrefetch(t.line)
+		cc.meterColRead()
+		tr.DemandBytes += 64
+		tr.OverheadBytes += cfg.ReadBytes - 64
+		cc.completeReadAt(t.req, iss.DataEnd)
+
+	case mem.ReadMissClean:
+		switch cfg.Design {
+		case TDRAM:
+			// Conditional column operation: the in-DRAM compare gated the
+			// column decode — no column op, no DQ transfer. The reserved
+			// DQ slot drains one flush-buffer entry instead (§III-D2).
+			cc.drainIdleSlot(iss.DataStart)
+		case NDC:
+			// NDC always performs the column operation (energy) but
+			// transfers nothing on a miss-clean (§VI).
+			cc.ctl.meter.Cols++
+		default:
+			cc.meterColRead()
+			tr.DiscardBytes += 64
+			tr.OverheadBytes += cfg.ReadBytes - 64
+		}
+		if install {
+			cc.ctl.markInflight(t.line)
+		}
+		cc.resolveMissRead(t, tagAt, install)
+
+	case mem.ReadMissDirty:
+		// Dirty victim streams back with hit timing in every design.
+		cc.meterColRead()
+		tr.VictimBytes += 64
+		tr.OverheadBytes += cfg.ReadBytes - 64
+		cc.ctl.markInflight(t.line)
+		cc.ctl.sim.ScheduleAt(iss.DataEnd, func() { cc.ctl.writeback(victim) })
+		cc.resolveMissRead(t, tagAt, true)
+	}
+}
+
+// resolveMissRead starts (or joins) the backing fetch for a read miss
+// once the controller knows the outcome at tagAt.
+func (cc *chanCtl) resolveMissRead(t *txn, tagAt sim.Tick, fill bool) {
+	if t.predStarted {
+		// §V-D: the predictor already launched the fetch; the demand
+		// finishes when both the tag result and the data are in.
+		cc.ctl.sim.ScheduleAt(tagAt, func() {
+			t.tagSaidMiss = true
+			if t.predDataAt != 0 {
+				cc.finishPredictedMiss(t)
+			}
+		})
+		return
+	}
+	req := t.req
+	line := t.line
+	cc.ctl.sim.ScheduleAt(tagAt, func() { cc.ctl.missFetch(req, line, fill) })
+}
+
+// predictorData records the arrival of a predicted-miss prefetch.
+func (cc *chanCtl) predictorData(t *txn) {
+	t.predDataAt = cc.now()
+	if t.tagSaidMiss {
+		cc.finishPredictedMiss(t)
+	}
+}
+
+func (cc *chanCtl) finishPredictedMiss(t *txn) {
+	cc.completeReadAt(t.req, cc.now())
+	cc.ctl.resolveInflight(t.line)
+	cc.ctl.dispatchFill(t.line)
+	t.tagSaidMiss = false // guard against double finish
+	t.predStarted = false
+}
+
+// completeReadAt finishes a demand read at the given time.
+func (cc *chanCtl) completeReadAt(req *mem.Request, at sim.Tick) {
+	cc.ctl.sim.ScheduleAt(at, func() {
+		cc.ctl.sampleReadLatency(at - req.Arrive)
+		req.Complete()
+		cc.ctl.retryUpstream()
+	})
+}
+
+// issueWriteTagRead handles the CL-family tag-check read for a write.
+func (cc *chanCtl) issueWriteTagRead(t *txn, iss dram.Issue) {
+	cfg := cc.cfg()
+	tr := &cc.st().Traffic
+	cc.st().ReadQueueing.AddTick(iss.At - t.arrive)
+	outcome, victim, _ := cc.ctl.tags.access(t.line, true, true)
+	cc.st().Outcomes.Add(outcome)
+	cc.ctl.bearObserve(t.line, outcome)
+	cc.meterColRead()
+	if outcome == mem.WriteMissDirty {
+		tr.VictimBytes += 64
+	} else {
+		// Write-hit and write-miss-clean tag-read data is discarded the
+		// moment the comparison completes (§II-B3).
+		tr.DiscardBytes += 64
+	}
+	tr.OverheadBytes += cfg.ReadBytes - 64
+	cc.recordTag(t, iss.DataEnd)
+	w := &txn{
+		kind: txnWrite, req: t.req, line: t.line, bank: t.bank, row: t.row, arrive: cc.now(),
+		outcomeKnown: true, outcome: outcome,
+	}
+	cc.ctl.sim.ScheduleAt(iss.DataEnd, func() {
+		if outcome == mem.WriteMissDirty {
+			cc.ctl.writeback(victim)
+		}
+		cc.enqueueWriteTxn(w)
+	})
+}
+
+// enqueueWriteTxn adds a data write, overflowing if the queue is full.
+func (cc *chanCtl) enqueueWriteTxn(w *txn) {
+	if len(cc.writeQ) >= WriteQueueDepth {
+		cc.overflow = append(cc.overflow, w)
+		return
+	}
+	cc.writeQ = append(cc.writeQ, w)
+	cc.pass()
+}
+
+// issueWrite handles a committed data write (demand write or ActWr).
+func (cc *chanCtl) issueWrite(t *txn, iss dram.Issue) {
+	cfg := cc.cfg()
+	tr := &cc.st().Traffic
+	if !t.outcomeKnown {
+		// NDC/TDRAM ActWr: the tag check happens in-DRAM at commit.
+		outcome, victim, _ := cc.ctl.tags.access(t.line, true, true)
+		t.outcome, t.outcomeKnown = outcome, true
+		cc.st().Outcomes.Add(outcome)
+		cc.recordTag(t, cc.tagDoneAt(iss))
+		if outcome == mem.WriteMissDirty {
+			// The displaced dirty line moves into the flush buffer with
+			// an internal read — no DQ turnaround (§III-D2).
+			cc.ctl.meter.Cols++ // internal read column op
+			cc.pushFlush(victim)
+		}
+	}
+	cc.meterColWrite()
+	tr.DemandBytes += 64
+	tr.OverheadBytes += cfg.WriteBytes - 64
+}
+
+// issueFill writes fetched miss data into the cache.
+func (cc *chanCtl) issueFill(t *txn, iss dram.Issue) {
+	cfg := cc.cfg()
+	cc.meterColWrite()
+	cc.st().Traffic.FillBytes += 64
+	cc.st().Traffic.OverheadBytes += cfg.WriteBytes - 64
+	cc.ctl.tags.fillDone(t.line)
+	_ = iss
+}
+
+// issueVictimRead fetches a dirty victim's data (Ideal design).
+func (cc *chanCtl) issueVictimRead(t *txn, iss dram.Issue) {
+	cfg := cc.cfg()
+	cc.st().ReadQueueing.AddTick(iss.At - t.arrive)
+	cc.meterColRead()
+	cc.st().Traffic.VictimBytes += 64
+	cc.st().Traffic.OverheadBytes += cfg.ReadBytes - 64
+	line := t.line
+	cc.ctl.sim.ScheduleAt(iss.DataEnd, func() {
+		cc.ctl.writeback(line)
+		t.done = true
+		cc.pass()
+	})
+}
+
+// dispatchFill enqueues the fill write for a line on its home channel.
+func (c *Controller) dispatchFill(line uint64) {
+	chIdx, bank := c.dev.Route(line)
+	c.chans[chIdx].enqueueFill(line, bank)
+}
+
+// tryProbe issues an early tag probe in an otherwise unused slot
+// (§III-E): tag bank and HM bus only, no data-bank activity.
+func (cc *chanCtl) tryProbe(now sim.Tick) bool {
+	var pick *txn
+	// The paper's selection policy picks the youngest eligible request
+	// (§III-E2), so the scan starts from the queue tail; ProbeOldest
+	// reverses it for the ablation. The scan is window-bounded like the
+	// MAIN arbiter's.
+	checked := 0
+	for i := range cc.readQ {
+		t := cc.readQ[len(cc.readQ)-1-i]
+		if cc.cfg().ProbeOldest {
+			t = cc.readQ[i]
+		}
+		if t.kind != txnRead || t.probed || t.outcomeKnown || t.predStarted {
+			continue
+		}
+		if checked++; checked > schedWindow {
+			break
+		}
+		if cc.ch.Earliest(dram.Op{Kind: dram.OpProbe, Bank: t.bank}, now) != now {
+			continue
+		}
+		pick = t
+		break
+	}
+	if pick == nil {
+		return false
+	}
+	iss := cc.ch.Commit(dram.Op{Kind: dram.OpProbe, Bank: pick.bank}, now)
+	cc.st().Probes++
+	pick.probed = true
+	outcome, victim, _ := cc.ctl.tags.access(pick.line, false, true)
+	pick.outcome, pick.outcomeKnown, pick.victim = outcome, true, victim
+	cc.st().Outcomes.Add(outcome)
+	if !outcome.IsHit() {
+		cc.ctl.markInflight(pick.line)
+	}
+	t := pick
+	cc.ctl.sim.ScheduleAt(iss.HMAt, func() { cc.probeResult(t, iss.HMAt) })
+	return true
+}
+
+// probeResult acts on a probe's HM-bus result.
+func (cc *chanCtl) probeResult(t *txn, at sim.Tick) {
+	cc.ctl.sampleTagCheck(at - t.arrive)
+	t.probeResolved = true
+	switch t.outcome {
+	case mem.ReadHit:
+		cc.st().ProbeHits++
+		cc.pass() // now eligible for a MAIN slot
+	case mem.ReadMissClean:
+		// The request leaves the read queue without ever touching the
+		// data banks; the backing fetch starts immediately.
+		cc.st().ProbeMissClean++
+		cc.st().ReadQueueing.AddTick(at - t.arrive)
+		cc.remove(&cc.readQ, t)
+		cc.ctl.missFetch(t.req, t.line, true)
+		cc.pass()
+	case mem.ReadMissDirty:
+		// Start the backing fetch now; the MAIN access still must read
+		// the dirty victim before the fill may overwrite it.
+		cc.st().ProbeMissDirty++
+		req, line := t.req, t.line
+		cc.ctl.stats.MMReads++
+		cc.ctl.stats.Traffic.MMDemandBytes += 64
+		cc.ctl.mmMeter.Acts++
+		cc.ctl.mmMeter.Cols++
+		cc.ctl.mmMeter.Bytes += 64
+		done := func() {
+			cc.ctl.sampleReadLatency(cc.ctl.sim.Now() - req.Arrive)
+			req.Complete()
+			cc.ctl.resolveInflight(line)
+			t.mmArrived = true
+			if t.victimDone {
+				cc.ctl.dispatchFill(line)
+			}
+			cc.ctl.retryUpstream()
+		}
+		if !cc.ctl.mm.Read(line, done) {
+			cc.ctl.mmReadWait = append(cc.ctl.mmReadWait, pendingMM{line: line, done: done})
+			cc.ctl.pumpMMReads()
+		}
+		cc.pass()
+	}
+}
+
+// pushFlush parks a dirty victim in the flush buffer.
+func (cc *chanCtl) pushFlush(victim uint64) {
+	cc.flush = append(cc.flush, victim)
+	cc.st().FlushOccupancy.Add(float64(len(cc.flush)))
+	if len(cc.flush) > cc.st().FlushMax {
+		cc.st().FlushMax = len(cc.flush)
+	}
+}
+
+// drainIdleSlot uses a read-miss-clean's unused DQ slot to move one
+// flush-buffer entry to the controller.
+func (cc *chanCtl) drainIdleSlot(at sim.Tick) {
+	if len(cc.flush) == 0 {
+		return
+	}
+	line := cc.flush[0]
+	cc.flush = cc.flush[1:]
+	cc.st().FlushDrainIdleSlot++
+	cc.st().Traffic.VictimBytes += 64
+	cc.ctl.meter.Bytes += 64
+	cc.ctl.sim.ScheduleAt(at, func() { cc.ctl.writeback(line) })
+}
+
+// refreshDrain streams flush-buffer entries to the controller during a
+// refresh window, when banks are busy but the DQ bus is idle.
+func (cc *chanCtl) refreshDrain(start, end sim.Tick) {
+	slots := int((end - start) / cc.ch.Params().TBURST)
+	for i := 0; i < slots && len(cc.flush) > 0; i++ {
+		line := cc.flush[0]
+		cc.flush = cc.flush[1:]
+		cc.st().FlushDrainRefresh++
+		cc.st().Traffic.VictimBytes += 64
+		cc.ctl.meter.Bytes += 64
+		cc.ctl.writeback(line)
+	}
+}
+
+// needExplicitDrain reports whether explicit drain commands are due: NDC
+// must issue RES commands once its victim buffer passes 3/4 or whenever
+// the channel is otherwise idle (it has no opportunistic path, so idle
+// entries would never reach main memory); TDRAM drains explicitly only
+// when completely full — refresh windows and miss-clean slots cover the
+// rest (§III-D2).
+func (cc *chanCtl) needExplicitDrain() bool {
+	if !cc.tagDevice() || len(cc.flush) == 0 {
+		return false
+	}
+	if cc.cfg().Design == NDC {
+		return len(cc.flush) >= cc.cfg().FlushEntries*3/4 ||
+			(len(cc.readQ) == 0 && len(cc.writeQ) == 0)
+	}
+	return len(cc.flush) >= cc.cfg().FlushEntries
+}
+
+// tryExplicitDrain issues one explicit buffer-read command, paying the
+// DQ turnaround the opportunistic paths avoid.
+func (cc *chanCtl) tryExplicitDrain(now sim.Tick) bool {
+	op := dram.Op{Kind: dram.OpStreamRead}
+	if cc.ch.Earliest(op, now) != now {
+		return false
+	}
+	cc.ch.Commit(op, now)
+	line := cc.flush[0]
+	cc.flush = cc.flush[1:]
+	cc.st().FlushDrainExplicit++
+	if cc.cfg().Design == TDRAM {
+		cc.st().FlushStalls++
+	}
+	cc.st().Traffic.VictimBytes += 64
+	cc.ctl.meter.Bytes += 64
+	cc.ctl.writeback(line)
+	return true
+}

@@ -1,0 +1,186 @@
+package dramcache
+
+import (
+	"fmt"
+
+	"tdram/internal/sim"
+)
+
+// Design selects which of the paper's evaluated DRAM-cache designs the
+// controller models.
+type Design int
+
+const (
+	// CascadeLake is the evaluation baseline: Intel's commercial
+	// block-granule direct-mapped insert-on-miss cache storing tags in
+	// the ECC bits of the data, 64 B bursts. Every demand — read or
+	// write — starts with a DRAM read for its tag check.
+	CascadeLake Design = iota
+	// Alloy streams tag-and-data (TAD) units: the same flow with 80 B
+	// bursts.
+	Alloy
+	// BEAR is Alloy plus bandwidth-bloat mitigations: write-hits bypass
+	// the tag-check read via DRAM-cache-presence bits, and an adaptive
+	// bandwidth-aware bypass skips fills for cache-averse traffic.
+	BEAR
+	// NDC (Native DRAM Cache) stores tags in separate in-DRAM banks with
+	// CAM-like compare tied to the column operation: no early hit/miss,
+	// no conditional column op, tag returned over DQ, and a victim
+	// buffer drained by explicit RES commands.
+	NDC
+	// TDRAM is the paper's contribution: lockstep tag/data access
+	// (ActRd/ActWr), in-DRAM compare gating the column operation, HM
+	// bus, flush buffer, and early tag probing.
+	TDRAM
+	// Ideal knows hit/miss and metadata in zero time — the upper bound a
+	// perfect tags-in-SRAM design could reach.
+	Ideal
+	// NoCache bypasses the DRAM cache entirely (main memory only); the
+	// reference system of Figs. 2 and 12.
+	NoCache
+)
+
+var designNames = map[Design]string{
+	CascadeLake: "cascade-lake",
+	Alloy:       "alloy",
+	BEAR:        "bear",
+	NDC:         "ndc",
+	TDRAM:       "tdram",
+	Ideal:       "ideal",
+	NoCache:     "no-cache",
+}
+
+func (d Design) String() string {
+	if n, ok := designNames[d]; ok {
+		return n
+	}
+	return fmt.Sprintf("design(%d)", int(d))
+}
+
+// Designs lists the cache designs in the paper's comparison order.
+func Designs() []Design {
+	return []Design{CascadeLake, Alloy, BEAR, NDC, TDRAM, Ideal}
+}
+
+// ParseDesign resolves a design name.
+func ParseDesign(s string) (Design, error) {
+	for d, n := range designNames {
+		if n == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("dramcache: unknown design %q", s)
+}
+
+// Queue and buffer capacities from Table III.
+const (
+	ReadQueueDepth  = 64
+	WriteQueueDepth = 64
+	ConflictDepth   = 32
+	// drain hysteresis for the write queue
+	writeHiWater = WriteQueueDepth * 3 / 4
+	writeLoWater = WriteQueueDepth / 4
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	Design        Design
+	CapacityBytes uint64
+	Ways          int // 1 = direct-mapped (the paper's default)
+
+	// Access granularity on the DQ bus. Alloy and BEAR move 80 B TAD
+	// units per 64 B demand; NDC appends the tag (2 beats) to read data.
+	ReadBurst   sim.Tick
+	WriteBurst  sim.Tick
+	ReadBytes   uint64 // bytes moved per read access
+	WriteBytes  uint64 // bytes moved per write access
+	UsefulBytes uint64 // 64: the demand's data
+
+	// FlushEntries sizes TDRAM's flush buffer / NDC's victim buffer.
+	FlushEntries int
+
+	// ProbeEnabled turns TDRAM's early tag probing on (ablation hook).
+	ProbeEnabled bool
+	// ProbeOldest selects the oldest queued read instead of the paper's
+	// youngest-first policy (§III-E2 ablation).
+	ProbeOldest bool
+
+	// UsePredictor adds a MAP-I hit/miss predictor to Cascade Lake or
+	// Alloy (§V-D): predicted-miss reads start the main-memory fetch in
+	// parallel with the tag check.
+	UsePredictor bool
+
+	// BypassAdaptive enables BEAR's bandwidth-aware fill bypass.
+	BypassAdaptive bool
+
+	// UsePrefetcher adds a per-core stride prefetcher at the DRAM-cache
+	// controller (the §V-D prefetcher study). Once a core's stride is
+	// confident, PrefetchDegree lines ahead are fetched into the cache;
+	// zero means 1.
+	UsePrefetcher  bool
+	PrefetchDegree int
+
+	// OpenPage runs the cache device with an open-page row-buffer policy
+	// instead of the paper's close-page auto-precharge. Only meaningful
+	// for the tags-with-data designs: TDRAM's and NDC's lockstep
+	// commands are defined with auto-precharge.
+	OpenPage bool
+}
+
+// DefaultConfig returns the paper's configuration of the given design
+// for a cache of the given capacity.
+func DefaultConfig(d Design, capacityBytes uint64) Config {
+	c := Config{
+		Design:        d,
+		CapacityBytes: capacityBytes,
+		Ways:          1,
+		ReadBurst:     sim.NS(2),
+		WriteBurst:    sim.NS(2),
+		ReadBytes:     64,
+		WriteBytes:    64,
+		UsefulBytes:   64,
+		FlushEntries:  16,
+	}
+	switch d {
+	case Alloy:
+		c.ReadBurst, c.WriteBurst = sim.NS(2.5), sim.NS(2.5)
+		c.ReadBytes, c.WriteBytes = 80, 80
+	case BEAR:
+		c.ReadBurst, c.WriteBurst = sim.NS(2.5), sim.NS(2.5)
+		c.ReadBytes, c.WriteBytes = 80, 80
+		c.BypassAdaptive = true
+	case NDC:
+		// Two extra beats carry the tag back on DQ (§VI).
+		c.ReadBurst = sim.NS(2.25)
+		c.ReadBytes = 72
+	case TDRAM:
+		c.ProbeEnabled = true
+	}
+	return c
+}
+
+// Validate rejects inconsistent configurations.
+func (c *Config) Validate() error {
+	if c.Design == NoCache {
+		return nil
+	}
+	if c.CapacityBytes == 0 {
+		return fmt.Errorf("dramcache: zero capacity")
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("dramcache: ways = %d", c.Ways)
+	}
+	if (c.Design == TDRAM || c.Design == NDC) && c.FlushEntries <= 0 {
+		return fmt.Errorf("dramcache: %v needs a flush/victim buffer", c.Design)
+	}
+	if c.UsePredictor && c.Design != CascadeLake && c.Design != Alloy {
+		return fmt.Errorf("dramcache: predictor only applies to tags-with-data designs")
+	}
+	if c.ProbeEnabled && c.Design != TDRAM {
+		return fmt.Errorf("dramcache: early tag probing requires TDRAM")
+	}
+	if c.OpenPage && (c.Design == TDRAM || c.Design == NDC) {
+		return fmt.Errorf("dramcache: open-page policy is incompatible with %v's auto-precharging commands", c.Design)
+	}
+	return nil
+}

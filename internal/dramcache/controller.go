@@ -1,0 +1,675 @@
+package dramcache
+
+import (
+	"fmt"
+
+	"tdram/internal/backing"
+	"tdram/internal/dram"
+	"tdram/internal/ecc"
+	"tdram/internal/energy"
+	"tdram/internal/mem"
+	"tdram/internal/predict"
+	"tdram/internal/sim"
+	"tdram/internal/stats"
+)
+
+// TrafficBreakdown classifies every byte moved, so both the paper's
+// bandwidth-bloat factor (Table IV: all bytes moved per 64 demand bytes)
+// and Fig. 3's useful/unuseful split can be derived.
+type TrafficBreakdown struct {
+	// Cache-device DQ bus.
+	DemandBytes   uint64 // hit data to controller, demand write data
+	FillBytes     uint64 // miss fills written into the cache
+	VictimBytes   uint64 // dirty victims moved to the controller (incl. flush drains)
+	DiscardBytes  uint64 // tag-check read data the controller discards
+	OverheadBytes uint64 // over-fetch beyond 64 B (80 B TADs, NDC tag beats)
+	// Main-memory bus.
+	MMDemandBytes    uint64 // backing-store fetches serving demand misses
+	MMWritebackBytes uint64 // dirty victims written back
+}
+
+// CacheTotal reports all bytes moved on the cache device's DQ bus.
+func (t *TrafficBreakdown) CacheTotal() uint64 {
+	return t.DemandBytes + t.FillBytes + t.VictimBytes + t.DiscardBytes + t.OverheadBytes
+}
+
+// Total reports all bytes moved in the memory system.
+func (t *TrafficBreakdown) Total() uint64 {
+	return t.CacheTotal() + t.MMDemandBytes + t.MMWritebackBytes
+}
+
+// UnusefulFraction reports Fig. 3's metric: the share of cache-bus
+// traffic that served no purpose (discarded tag-check data and
+// over-fetch).
+func (t *TrafficBreakdown) UnusefulFraction() float64 {
+	tot := t.CacheTotal()
+	if tot == 0 {
+		return 0
+	}
+	return float64(t.DiscardBytes+t.OverheadBytes) / float64(tot)
+}
+
+// Stats aggregates one controller's measurements.
+type Stats struct {
+	DemandReads, DemandWrites uint64
+
+	Outcomes stats.OutcomeCounts
+
+	// TagCheck is the paper's Fig. 9 metric: controller-issue-to-result
+	// including queue occupancy, in ns, over all demands.
+	TagCheck stats.Mean
+	// ReadQueueing is Figs. 2/10: enqueue-to-command-issue of entries in
+	// the read buffer (including CL-family write tag-reads).
+	ReadQueueing stats.Mean
+	// ReadLatency is the full demand-read latency (arrive to data).
+	ReadLatency stats.Mean
+	// TagCheckHist and ReadLatencyHist resolve the distributions behind
+	// the means (2 ns buckets), for tail-latency reporting (p95/p99).
+	TagCheckHist    *stats.Hist
+	ReadLatencyHist *stats.Hist
+
+	Traffic TrafficBreakdown
+
+	MMReads, MMWrites uint64
+
+	Probes, ProbeMissClean, ProbeHits, ProbeMissDirty uint64
+
+	FlushOccupancy                                            stats.Mean
+	FlushMax                                                  int
+	FlushStalls                                               uint64
+	FlushDrainRefresh, FlushDrainIdleSlot, FlushDrainExplicit uint64
+
+	FillsBypassed   uint64
+	WriteTagReads   uint64
+	ConflictWaits   uint64
+	ConflictRejects uint64
+	QueueRejects    uint64
+
+	PredictorMissStarts uint64
+	PredictorAccuracy   float64
+
+	PrefetchesIssued, PrefetchesUseful uint64
+}
+
+// BloatFactor is Table IV's metric: every byte moved in the memory
+// system per 64 demand bytes.
+func (s *Stats) BloatFactor() float64 {
+	demands := s.DemandReads + s.DemandWrites
+	if demands == 0 {
+		return 0
+	}
+	return float64(s.Traffic.Total()) / float64(demands*64)
+}
+
+// Controller is the DRAM-cache controller: it accepts 64 B demands from
+// the on-chip hierarchy, runs them against the configured design's
+// protocol on the cache device, and falls through to the backing store
+// on misses.
+type Controller struct {
+	sim *sim.Simulator
+	cfg Config
+	dev *dram.Device // nil for NoCache
+	mm  *backing.Memory
+
+	tags  *tagStore
+	chans []*chanCtl
+
+	// inflight tracks lines with a pending fill: value is the list of
+	// demands waiting in the conflicting-request buffer.
+	inflight      map[uint64][]*mem.Request
+	conflictCount int
+
+	// wbQ holds dirty victims awaiting acceptance by the backing store.
+	wbQ        []uint64
+	wbPumping  bool
+	mmReadWait []pendingMM
+
+	predictor  *predict.MAPI
+	prefetcher *predict.StridePrefetcher
+	// prefetched tracks lines brought in by the prefetcher and not yet
+	// referenced, to score usefulness.
+	prefetched map[uint64]struct{}
+
+	// bearPSel is the set-dueling selector for BEAR's bandwidth-aware
+	// bypass: misses in bypass-leader sets push it up, misses in
+	// fill-leader sets push it down; followers bypass while it stays
+	// below the threshold (bypassing is not costing hits).
+	bearPSel int
+
+	meter   *energy.Meter // cache device
+	mmMeter *energy.Meter
+	// Device-counter snapshots at the last ResetStats, so meters report
+	// measured-phase activity only.
+	devBase   dram.ChannelStats
+	mmDevBase dram.ChannelStats
+
+	stats Stats
+
+	// OnDemandRetry is invoked when a previously rejected demand might
+	// now be accepted (queue space freed). The system layer uses it to
+	// resume stalled cores.
+	OnDemandRetry func()
+
+	// OnAccept, when set, observes every accepted demand exactly once —
+	// the trace recorder's hook.
+	OnAccept func(*mem.Request)
+}
+
+type pendingMM struct {
+	line uint64
+	done func()
+}
+
+// New builds a controller for cfg on simulator s against backing store
+// mm. The cache device is created internally from the paper's Table III
+// parameters.
+func New(s *sim.Simulator, cfg Config, mm *backing.Memory) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		sim:      s,
+		cfg:      cfg,
+		mm:       mm,
+		inflight: make(map[uint64][]*mem.Request),
+		mmMeter:  energy.NewMeter(energy.DDR5(), mm.Device().Channels()),
+		stats:    newStats(),
+	}
+	if cfg.Design == NoCache {
+		return c, nil
+	}
+	devParams := dram.CacheDeviceParams(cfg.CapacityBytes)
+	if cfg.OpenPage {
+		devParams.OpenPage = true
+		// Tag banks are a TDRAM/NDC feature; the open-page ablation runs
+		// tags-with-data designs, which never issue tag-lockstep ops.
+		devParams.TRCDTag, devParams.THM, devParams.THMInt, devParams.TRCTag = 0, 0, 0, 0
+	}
+	dev, err := dram.NewDevice(s, devParams)
+	if err != nil {
+		return nil, err
+	}
+	c.dev = dev
+	c.tags, err = newTagStore(cfg.CapacityBytes, cfg.Ways)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Design == TDRAM || cfg.Design == NDC {
+		// The base-die BIST initializes tags and verifies the on-die ECC
+		// paths at startup (§III-C3).
+		if err := ecc.SelfCheck(); err != nil {
+			return nil, err
+		}
+	}
+	c.meter = energy.NewMeter(energy.HBMCache(), dev.Channels())
+	c.chans = make([]*chanCtl, dev.Channels())
+	for i := range c.chans {
+		cc := &chanCtl{ctl: c, ch: dev.Channel(i), index: i}
+		c.chans[i] = cc
+		if cfg.Design == TDRAM {
+			ch := dev.Channel(i)
+			ch.OnRefresh = cc.refreshDrain
+		}
+	}
+	if cfg.UsePredictor {
+		c.predictor = predict.NewMAPI(256)
+	}
+	if cfg.UsePrefetcher {
+		deg := cfg.PrefetchDegree
+		if deg < 1 {
+			deg = 1
+		}
+		c.prefetcher = predict.NewStridePrefetcher(128, deg)
+		c.prefetched = make(map[uint64]struct{})
+	}
+	return c, nil
+}
+
+// maybePrefetch trains the stride prefetcher on a demand read and issues
+// confident proposals: each prefetch installs the line (like a read
+// miss) and fetches it from the backing store, consuming mm and fill
+// bandwidth — the interference the paper's §V-D discusses. Prefetches
+// that would displace dirty victims are skipped (they would add a
+// victim read on top).
+func (c *Controller) maybePrefetch(core int, line uint64) {
+	if c.prefetcher == nil {
+		return
+	}
+	for _, target := range c.prefetcher.Observe(core, line) {
+		if _, busy := c.inflight[target]; busy {
+			continue
+		}
+		pr := c.tags.probe(target)
+		if pr.Hit || pr.Dirty {
+			continue
+		}
+		if !c.mm.ReadQueueFree(target) {
+			continue // never let prefetches stall demand fetches
+		}
+		if len(c.prefetched) > 1<<16 {
+			// Bound the usefulness-scoring map; scoring is approximate.
+			c.prefetched = make(map[uint64]struct{})
+		}
+		c.tags.access(target, false, true)
+		c.markInflight(target)
+		c.prefetched[target] = struct{}{}
+		c.stats.PrefetchesIssued++
+		t := target
+		c.stats.MMReads++
+		c.stats.Traffic.MMDemandBytes += 64
+		c.mmMeter.Acts++
+		c.mmMeter.Cols++
+		c.mmMeter.Bytes += 64
+		c.mm.Read(t, func() {
+			c.resolveInflight(t)
+			c.dispatchFill(t)
+		})
+	}
+}
+
+// scorePrefetch marks a prefetched line as referenced.
+func (c *Controller) scorePrefetch(line uint64) {
+	if c.prefetched == nil {
+		return
+	}
+	if _, ok := c.prefetched[line]; ok {
+		delete(c.prefetched, line)
+		c.stats.PrefetchesUseful++
+	}
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns the accumulated measurements. Predictor accuracy is
+// refreshed on each call.
+func (c *Controller) Stats() *Stats {
+	if c.predictor != nil {
+		c.stats.PredictorAccuracy = c.predictor.Accuracy()
+	}
+	return &c.stats
+}
+
+// Device exposes the cache DRAM device (nil for NoCache).
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Meters returns the cache-device and main-memory energy meters; the
+// cache meter is nil for NoCache.
+func (c *Controller) Meters() (cache, main *energy.Meter) { return c.meter, c.mmMeter }
+
+// Occupancy reports valid/dirty fractions of the cache content.
+func (c *Controller) Occupancy() (valid, dirty float64) {
+	if c.tags == nil {
+		return 0, 0
+	}
+	return c.tags.occupancy()
+}
+
+// newStats builds a Stats with its histograms allocated.
+func newStats() Stats {
+	return Stats{
+		TagCheckHist:    stats.NewHist(256, 2),
+		ReadLatencyHist: stats.NewHist(512, 2),
+	}
+}
+
+// sampleTagCheck records one tag-check latency sample.
+func (c *Controller) sampleTagCheck(d sim.Tick) {
+	c.stats.TagCheck.AddTick(d)
+	c.stats.TagCheckHist.Add(d.Nanoseconds())
+}
+
+// sampleReadLatency records one completed demand read's latency.
+func (c *Controller) sampleReadLatency(d sim.Tick) {
+	c.stats.ReadLatency.AddTick(d)
+	c.stats.ReadLatencyHist.Add(d.Nanoseconds())
+}
+
+// ResetStats clears measurements (after warmup) without touching cache
+// content or device state.
+func (c *Controller) ResetStats() {
+	c.stats = newStats()
+	if c.meter != nil {
+		ch := c.meter.Channels
+		co := c.meter.Coeffs
+		*c.meter = *energy.NewMeter(co, ch)
+	}
+	*c.mmMeter = *energy.NewMeter(c.mmMeter.Coeffs, c.mmMeter.Channels)
+	mmStats := c.mm.Stats()
+	*mmStats = backing.Stats{}
+	if c.dev != nil {
+		c.devBase = c.dev.Stats()
+	}
+	c.mmDevBase = c.mm.Device().Stats()
+}
+
+// DeviceActivity reports the cache device's activity counters since the
+// last ResetStats (zero value for NoCache).
+func (c *Controller) DeviceActivity() dram.ChannelStats {
+	if c.dev == nil {
+		return dram.ChannelStats{}
+	}
+	d := c.dev.Stats()
+	return dram.ChannelStats{
+		Activates:    d.Activates - c.devBase.Activates,
+		TagActivates: d.TagActivates - c.devBase.TagActivates,
+		Probes:       d.Probes - c.devBase.Probes,
+		Refreshes:    d.Refreshes - c.devBase.Refreshes,
+		HMTransfers:  d.HMTransfers - c.devBase.HMTransfers,
+		RowHits:      d.RowHits - c.devBase.RowHits,
+		Precharges:   d.Precharges - c.devBase.Precharges,
+	}
+}
+
+// FinalizeMeters copies device activity counters (activations, tag
+// activations, HM transfers, refreshes) accumulated since the last
+// ResetStats into the energy meters. Call before rendering energy.
+func (c *Controller) FinalizeMeters() {
+	if c.dev != nil {
+		d := c.dev.Stats()
+		c.meter.Acts = d.Activates - c.devBase.Activates
+		c.meter.TagActs = d.TagActivates - c.devBase.TagActivates
+		c.meter.HMs = d.HMTransfers - c.devBase.HMTransfers
+		c.meter.Refreshes = d.Refreshes - c.devBase.Refreshes
+	}
+	md := c.mm.Device().Stats()
+	c.mmMeter.Refreshes = md.Refreshes - c.mmDevBase.Refreshes
+}
+
+// Prewarm applies one access to the cache content functionally, with no
+// timing: the stand-in for the paper's LoopPoint checkpoints, which start
+// every run with warmed SRAM and DRAM caches (§IV-B). Misses install
+// immediately (the fill is assumed done); victims are dropped.
+func (c *Controller) Prewarm(line uint64, write bool) {
+	if c.tags == nil {
+		return
+	}
+	c.tags.access(line, write, true)
+	if !write {
+		c.tags.fillDone(line)
+	}
+}
+
+// Enqueue accepts one demand. It reports false when backpressure (full
+// queues or conflict buffer) prevents acceptance; the caller must retry
+// later. Writes are posted: their Complete fires on acceptance.
+func (c *Controller) Enqueue(req *mem.Request) bool {
+	req.Arrive = c.sim.Now()
+	line := req.Line()
+
+	if c.cfg.Design == NoCache {
+		return c.enqueueNoCache(req)
+	}
+
+	// Controller-side MSHR check: demands to lines with a pending fill
+	// wait in the conflicting-request buffer (Table III: 32 entries).
+	if waiters, ok := c.inflight[line]; ok {
+		if c.conflictCount >= ConflictDepth {
+			c.stats.ConflictRejects++
+			return false
+		}
+		c.inflight[line] = append(waiters, req)
+		c.conflictCount++
+		c.stats.ConflictWaits++
+		c.countDemand(req)
+		if req.Kind == mem.Read {
+			c.scorePrefetch(line)
+		}
+		if req.Kind == mem.Write {
+			req.Complete()
+		}
+		return true
+	}
+
+	chIdx, bank := c.dev.Route(line)
+	cc := c.chans[chIdx]
+
+	if req.Kind == mem.Read {
+		if !cc.acceptRead(req, bank) {
+			c.stats.QueueRejects++
+			return false
+		}
+		c.countDemand(req)
+		c.maybePrefetch(req.Core, line)
+		return true
+	}
+	if !cc.acceptWrite(req, bank) {
+		c.stats.QueueRejects++
+		return false
+	}
+	c.countDemand(req)
+	req.Complete() // posted write
+	return true
+}
+
+func (c *Controller) countDemand(req *mem.Request) {
+	if req.Kind == mem.Read {
+		c.stats.DemandReads++
+	} else {
+		c.stats.DemandWrites++
+	}
+	if c.OnAccept != nil {
+		c.OnAccept(req)
+	}
+}
+
+// enqueueNoCache routes demands straight to the backing store.
+func (c *Controller) enqueueNoCache(req *mem.Request) bool {
+	line := req.Line()
+	if req.Kind == mem.Read {
+		arrive := c.sim.Now()
+		ok := c.mm.Read(line, func() {
+			c.sampleReadLatency(c.sim.Now() - arrive)
+			req.Complete()
+			c.retryUpstream()
+		})
+		if !ok {
+			c.stats.QueueRejects++
+			return false
+		}
+		c.stats.MMReads++
+		c.stats.Traffic.MMDemandBytes += 64
+		c.mmMeter.Acts++
+		c.mmMeter.Cols++
+		c.mmMeter.Bytes += 64
+		c.countDemand(req)
+		return true
+	}
+	if !c.mm.Write(line) {
+		c.stats.QueueRejects++
+		return false
+	}
+	c.stats.MMWrites++
+	c.stats.Traffic.MMWritebackBytes += 64
+	c.mmMeter.Acts++
+	c.mmMeter.Cols++
+	c.mmMeter.Bytes += 64
+	c.countDemand(req)
+	req.Complete()
+	return true
+}
+
+// missFetch starts the backing-store read for a demand miss and wires
+// the completion: respond to the demand, resolve conflict waiters, and
+// enqueue the fill (unless bypassed).
+func (c *Controller) missFetch(req *mem.Request, line uint64, fill bool) {
+	c.stats.MMReads++
+	c.stats.Traffic.MMDemandBytes += 64
+	c.mmMeter.Acts++
+	c.mmMeter.Cols++
+	c.mmMeter.Bytes += 64
+	done := func() {
+		if req != nil {
+			c.sampleReadLatency(c.sim.Now() - req.Arrive)
+			req.Complete()
+		}
+		// Data is at the controller: conflict-buffer waiters are served
+		// from it directly.
+		c.resolveInflight(line)
+		if fill {
+			c.dispatchFill(line)
+		}
+		c.retryUpstream()
+	}
+	if !c.mm.Read(line, done) {
+		// Backing read queue full: retry until accepted.
+		c.mmReadWait = append(c.mmReadWait, pendingMM{line: line, done: done})
+		c.pumpMMReads()
+	}
+}
+
+func (c *Controller) pumpMMReads() {
+	if len(c.mmReadWait) == 0 {
+		return
+	}
+	for len(c.mmReadWait) > 0 {
+		p := c.mmReadWait[0]
+		if !c.mm.Read(p.line, p.done) {
+			break
+		}
+		c.mmReadWait = c.mmReadWait[1:]
+	}
+	if len(c.mmReadWait) > 0 {
+		c.sim.Schedule(sim.NS(20), c.pumpMMReads)
+	}
+}
+
+// markInflight registers a line whose fill is pending.
+func (c *Controller) markInflight(line uint64) {
+	if _, ok := c.inflight[line]; !ok {
+		c.inflight[line] = nil
+	}
+}
+
+// resolveInflight completes every demand waiting on line's fill data:
+// reads are answered from the arriving fill at the controller; writes
+// were posted and now set the dirty bit.
+func (c *Controller) resolveInflight(line uint64) {
+	waiters, ok := c.inflight[line]
+	if !ok {
+		return
+	}
+	delete(c.inflight, line)
+	c.conflictCount -= len(waiters)
+	for _, w := range waiters {
+		if w.Kind == mem.Read {
+			c.sampleReadLatency(c.sim.Now() - w.Arrive)
+			w.Complete()
+		} else if c.tags != nil {
+			c.tags.markDirty(line)
+		}
+	}
+}
+
+// writeback queues a dirty victim for the backing store.
+func (c *Controller) writeback(line uint64) {
+	c.wbQ = append(c.wbQ, line)
+	c.pumpWritebacks()
+}
+
+func (c *Controller) pumpWritebacks() {
+	for len(c.wbQ) > 0 {
+		if !c.mm.Write(c.wbQ[0]) {
+			break
+		}
+		c.wbQ = c.wbQ[1:]
+		c.stats.MMWrites++
+		c.stats.Traffic.MMWritebackBytes += 64
+		c.mmMeter.Acts++
+		c.mmMeter.Cols++
+		c.mmMeter.Bytes += 64
+	}
+	if len(c.wbQ) > 0 && !c.wbPumping {
+		c.wbPumping = true
+		c.sim.Schedule(sim.NS(20), func() {
+			c.wbPumping = false
+			c.pumpWritebacks()
+		})
+	}
+}
+
+// retryUpstream tells the system layer queue space may be available.
+func (c *Controller) retryUpstream() {
+	if c.OnDemandRetry != nil {
+		c.OnDemandRetry()
+	}
+}
+
+// bearRole classifies a line's set for BEAR's set-dueling: one in 64
+// sets always fills (fill leader), one in 64 always bypasses (bypass
+// leader), the rest follow the selector.
+const (
+	bearFollower = iota
+	bearFillLeader
+	bearBypassLeader
+)
+
+const bearPSelMax = 512
+const bearPSelThreshold = 0
+
+func (c *Controller) bearRole(line uint64) int {
+	set := line % c.tags.sets
+	switch set & 31 {
+	case 0:
+		return bearFillLeader
+	case 1:
+		return bearBypassLeader
+	}
+	return bearFollower
+}
+
+// bearBypassFill implements BEAR's bandwidth-aware bypass with set
+// dueling: leader sets permanently fill or permanently bypass, and the
+// miss difference between them steers the followers. Cache-averse
+// traffic (bypassing costs no hits) bypasses its fills, saving fill
+// bandwidth; traffic with reuse keeps filling.
+func (c *Controller) bearBypassFill(line uint64) bool {
+	if !c.cfg.BypassAdaptive {
+		return false
+	}
+	switch c.bearRole(line) {
+	case bearFillLeader:
+		return false
+	case bearBypassLeader:
+		return true
+	}
+	return c.bearPSel < bearPSelThreshold
+}
+
+// bearObserve trains the duel on every demand outcome. Write misses
+// count too: in a tags-with-data design a write-miss costs a full
+// tag-read that a write-hit (DCP bypass) avoids, so bypassed fills that
+// turn future write-hits into write-misses must show up in the leaders'
+// miss counts.
+func (c *Controller) bearObserve(line uint64, outcome mem.Outcome) {
+	if c.cfg.Design != BEAR {
+		return
+	}
+	if outcome.IsHit() {
+		return
+	}
+	switch c.bearRole(line) {
+	case bearFillLeader:
+		if c.bearPSel > -bearPSelMax {
+			c.bearPSel--
+		}
+	case bearBypassLeader:
+		if c.bearPSel < bearPSelMax {
+			c.bearPSel++
+		}
+	}
+}
+
+// Pending reports outstanding internal work (tests and drain checks).
+func (c *Controller) Pending() int {
+	n := len(c.wbQ) + len(c.mmReadWait) + c.conflictCount
+	for _, cc := range c.chans {
+		n += len(cc.readQ) + len(cc.writeQ) + len(cc.flush)
+	}
+	return n
+}
+
+// String describes the controller.
+func (c *Controller) String() string {
+	return fmt.Sprintf("dramcache(%v, %d MiB, %d-way)", c.cfg.Design, c.cfg.CapacityBytes>>20, c.cfg.Ways)
+}

@@ -1,0 +1,550 @@
+package dramcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tdram/internal/backing"
+	"tdram/internal/dram"
+	"tdram/internal/mem"
+	"tdram/internal/sim"
+)
+
+// testCapacity is 4096 lines (256 KiB): exactly one row-slice of the
+// 8-channel, 16-bank, 32-column cache device.
+const testCapacity = 256 << 10
+
+type harness struct {
+	t         *testing.T
+	s         *sim.Simulator
+	mm        *backing.Memory
+	ctl       *Controller
+	nextID    uint64
+	completed int
+	issued    int
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	s := sim.New()
+	mm, err := backing.New(s, dram.DDR5Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(s, cfg, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{t: t, s: s, mm: mm, ctl: ctl}
+}
+
+func defaultHarness(t *testing.T, d Design) *harness {
+	return newHarness(t, DefaultConfig(d, testCapacity))
+}
+
+// demand enqueues one request, stepping the simulation through
+// backpressure until accepted.
+func (h *harness) demand(line uint64, kind mem.Kind) *mem.Request {
+	h.nextID++
+	req := &mem.Request{ID: h.nextID, Addr: line * mem.LineSize, Kind: kind}
+	if kind == mem.Read {
+		req.OnDone = func(*mem.Request) { h.completed++ }
+	}
+	for i := 0; ; i++ {
+		if h.ctl.Enqueue(req) {
+			break
+		}
+		if !h.s.Step() {
+			h.t.Fatalf("simulation drained while request %d still rejected", req.ID)
+		}
+		if i > 1_000_000 {
+			h.t.Fatalf("request %d rejected forever", req.ID)
+		}
+	}
+	if kind == mem.Read {
+		h.issued++
+	}
+	return req
+}
+
+func (h *harness) read(line uint64) *mem.Request  { return h.demand(line, mem.Read) }
+func (h *harness) write(line uint64) *mem.Request { return h.demand(line, mem.Write) }
+
+// drain runs the simulation until every issued read completed and the
+// controller has no internal work left. Flush-buffer entries below the
+// explicit-drain threshold wait for TDRAM's refresh windows, so after
+// regular events run dry the loop pushes time across refresh intervals.
+func (h *harness) drain() {
+	for i := 0; i < 50; i++ {
+		h.s.Run(0)
+		if h.completed == h.issued && h.ctl.Pending() == 0 {
+			return
+		}
+		// Advance through daemon-driven work (refresh drains).
+		h.s.Run(h.s.Now() + sim.NS(8000))
+	}
+	h.t.Fatalf("did not drain: %d/%d reads complete, pending=%d", h.completed, h.issued, h.ctl.Pending())
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := sim.New()
+	mm, _ := backing.New(s, dram.DDR5Params())
+	bad := DefaultConfig(TDRAM, testCapacity)
+	bad.FlushEntries = 0
+	if _, err := New(s, bad, mm); err == nil {
+		t.Error("TDRAM without flush buffer accepted")
+	}
+	bad2 := DefaultConfig(CascadeLake, testCapacity)
+	bad2.ProbeEnabled = true
+	if _, err := New(s, bad2, mm); err == nil {
+		t.Error("probing on Cascade Lake accepted")
+	}
+	bad3 := DefaultConfig(TDRAM, testCapacity)
+	bad3.UsePredictor = true
+	if _, err := New(s, bad3, mm); err == nil {
+		t.Error("predictor on TDRAM accepted")
+	}
+	if _, err := ParseDesign("tdram"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseDesign("bogus"); err == nil {
+		t.Error("bogus design parsed")
+	}
+}
+
+func TestMissThenHitEveryDesign(t *testing.T) {
+	for _, d := range Designs() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			h := defaultHarness(t, d)
+			h.read(100)
+			h.drain()
+			h.read(100)
+			h.drain()
+			st := h.ctl.Stats()
+			if st.Outcomes.Count(mem.ReadMissClean) != 1 {
+				t.Errorf("miss count = %d", st.Outcomes.Count(mem.ReadMissClean))
+			}
+			if st.Outcomes.Count(mem.ReadHit) != 1 {
+				t.Errorf("hit count = %d", st.Outcomes.Count(mem.ReadHit))
+			}
+			if st.MMReads != 1 {
+				t.Errorf("mm reads = %d", st.MMReads)
+			}
+			if st.ReadLatency.N() != 2 {
+				t.Errorf("latency samples = %d", st.ReadLatency.N())
+			}
+		})
+	}
+}
+
+func TestNoCachePassThrough(t *testing.T) {
+	h := defaultHarness(t, NoCache)
+	h.read(1)
+	h.write(2)
+	h.drain()
+	st := h.ctl.Stats()
+	if st.MMReads != 1 || st.MMWrites != 1 {
+		t.Errorf("mm traffic = %d/%d", st.MMReads, st.MMWrites)
+	}
+	if st.Outcomes.Total() != 0 {
+		t.Error("no-cache recorded cache outcomes")
+	}
+	mmst := h.mm.Stats()
+	if mmst.Reads != 1 || mmst.Writes != 1 {
+		t.Errorf("backing saw %d/%d", mmst.Reads, mmst.Writes)
+	}
+}
+
+func TestDirtyVictimWriteback(t *testing.T) {
+	// 4096 sets direct-mapped: lines 7 and 7+4096 conflict.
+	for _, d := range Designs() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			h := defaultHarness(t, d)
+			h.write(7) // write-miss-clean: installs dirty
+			h.drain()
+			h.read(7 + 4096) // read-miss-dirty: evicts dirty 7
+			h.drain()
+			st := h.ctl.Stats()
+			if got := st.Outcomes.Count(mem.WriteMissClean); got != 1 {
+				t.Errorf("write-miss-clean = %d", got)
+			}
+			if got := st.Outcomes.Count(mem.ReadMissDirty); got != 1 {
+				t.Errorf("read-miss-dirty = %d", got)
+			}
+			if h.mm.Stats().Writes != 1 {
+				t.Errorf("victim writebacks at mm = %d", h.mm.Stats().Writes)
+			}
+		})
+	}
+}
+
+func TestWriteMissDirtyFlushBuffer(t *testing.T) {
+	for _, d := range []Design{TDRAM, NDC} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			h := defaultHarness(t, d)
+			h.write(9)
+			h.drain()
+			h.write(9 + 4096) // displaces dirty 9 into the flush buffer
+			h.drain()
+			st := h.ctl.Stats()
+			if got := st.Outcomes.Count(mem.WriteMissDirty); got != 1 {
+				t.Errorf("write-miss-dirty = %d", got)
+			}
+			if st.FlushMax < 1 {
+				t.Error("flush buffer never held the victim")
+			}
+			drains := st.FlushDrainRefresh + st.FlushDrainIdleSlot + st.FlushDrainExplicit
+			if drains != 1 {
+				t.Errorf("drains = %d, want 1", drains)
+			}
+			if h.mm.Stats().Writes != 1 {
+				t.Errorf("victim never reached main memory: %d", h.mm.Stats().Writes)
+			}
+			if d == NDC && st.FlushDrainRefresh > 0 {
+				t.Error("NDC drained during refresh; it only has explicit RES commands")
+			}
+		})
+	}
+}
+
+func TestUnloadedTagCheckLatency(t *testing.T) {
+	// Single unloaded read miss: TDRAM's HM result arrives at 15 ns
+	// (tRCD_TAG + tHM); Cascade Lake needs the full data access, 32 ns.
+	td := defaultHarness(t, TDRAM)
+	td.read(5)
+	td.drain()
+	if got := td.ctl.Stats().TagCheck.Value(); got != 15 {
+		t.Errorf("TDRAM unloaded tag check = %vns, want 15", got)
+	}
+	cl := defaultHarness(t, CascadeLake)
+	cl.read(5)
+	cl.drain()
+	if got := cl.ctl.Stats().TagCheck.Value(); got != 32 {
+		t.Errorf("CascadeLake unloaded tag check = %vns, want 32", got)
+	}
+	id := defaultHarness(t, Ideal)
+	id.read(5)
+	id.drain()
+	if got := id.ctl.Stats().TagCheck.Value(); got != 0 {
+		t.Errorf("Ideal tag check = %vns, want 0", got)
+	}
+}
+
+func TestTDRAMMissCleanMovesNoData(t *testing.T) {
+	h := defaultHarness(t, TDRAM)
+	for i := uint64(0); i < 32; i++ {
+		h.read(i * 7)
+	}
+	h.drain()
+	tr := &h.ctl.Stats().Traffic
+	if tr.DiscardBytes != 0 {
+		t.Errorf("TDRAM discarded %d bytes; conditional column op must prevent this", tr.DiscardBytes)
+	}
+	// All cache-bus traffic is fills (the misses install lines).
+	if tr.DemandBytes != 0 {
+		t.Errorf("unexpectedly served %d demand bytes from a cold cache", tr.DemandBytes)
+	}
+	cl := defaultHarness(t, CascadeLake)
+	for i := uint64(0); i < 32; i++ {
+		cl.read(i * 7)
+	}
+	cl.drain()
+	if cl.ctl.Stats().Traffic.DiscardBytes == 0 {
+		t.Error("CascadeLake miss-clean reads must discard fetched data")
+	}
+}
+
+func TestCLWritesConsumeReadSlots(t *testing.T) {
+	cl := defaultHarness(t, CascadeLake)
+	for i := uint64(0); i < 16; i++ {
+		cl.write(i)
+	}
+	cl.drain()
+	if got := cl.ctl.Stats().WriteTagReads; got != 16 {
+		t.Errorf("CL write tag-reads = %d, want 16", got)
+	}
+	td := defaultHarness(t, TDRAM)
+	for i := uint64(0); i < 16; i++ {
+		td.write(i)
+	}
+	td.drain()
+	if got := td.ctl.Stats().WriteTagReads; got != 0 {
+		t.Errorf("TDRAM write tag-reads = %d, want 0", got)
+	}
+}
+
+func TestBEARWriteHitBypass(t *testing.T) {
+	h := defaultHarness(t, BEAR)
+	h.write(3)
+	h.drain()
+	base := h.ctl.Stats().WriteTagReads // the miss needed a tag read
+	h.write(3)                          // hit: DCP bit known, direct write
+	h.drain()
+	st := h.ctl.Stats()
+	if st.WriteTagReads != base {
+		t.Errorf("write-hit consumed a tag read (%d -> %d)", base, st.WriteTagReads)
+	}
+	if st.Outcomes.Count(mem.WriteHit) != 1 {
+		t.Errorf("write hits = %d", st.Outcomes.Count(mem.WriteHit))
+	}
+}
+
+func TestConflictBufferMerge(t *testing.T) {
+	h := defaultHarness(t, TDRAM)
+	h.read(42)
+	h.read(42) // second demand hits the inflight fill: conflict buffer
+	h.drain()
+	st := h.ctl.Stats()
+	if st.ConflictWaits != 1 {
+		t.Errorf("conflict waits = %d", st.ConflictWaits)
+	}
+	if st.MMReads != 1 {
+		t.Errorf("mm reads = %d, want 1 (merged)", st.MMReads)
+	}
+	if h.completed != 2 {
+		t.Errorf("completed = %d", h.completed)
+	}
+}
+
+func TestProbingReducesTagLatency(t *testing.T) {
+	run := func(probe bool) (float64, *Stats) {
+		cfg := DefaultConfig(TDRAM, testCapacity)
+		cfg.ProbeEnabled = probe
+		h := newHarness(t, cfg)
+		rng := rand.New(rand.NewSource(11))
+		// A read burst far larger than the cache's service rate, all
+		// misses: queue pressure makes probing matter.
+		for i := 0; i < 200; i++ {
+			h.read(uint64(rng.Intn(100000)) + 8192)
+		}
+		h.drain()
+		st := h.ctl.Stats()
+		return st.TagCheck.Value(), st
+	}
+	with, stWith := run(true)
+	without, _ := run(false)
+	if stWith.Probes == 0 {
+		t.Fatal("no probes issued under load")
+	}
+	if stWith.ProbeMissClean == 0 {
+		t.Error("no probed miss-cleans")
+	}
+	if with >= without {
+		t.Errorf("probing did not reduce tag-check latency: with=%v without=%v", with, without)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	h := defaultHarness(t, CascadeLake)
+	rejected := false
+	for i := 0; i < ReadQueueDepth*12; i++ {
+		req := &mem.Request{ID: uint64(i), Addr: uint64(i*16+1) * 64, Kind: mem.Read,
+			OnDone: func(*mem.Request) { h.completed++ }}
+		if h.ctl.Enqueue(req) {
+			h.issued++
+		} else {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Error("flood never rejected")
+	}
+	if h.ctl.Stats().QueueRejects == 0 {
+		t.Error("rejects not counted")
+	}
+	h.drain()
+}
+
+func TestPredictorParallelFetch(t *testing.T) {
+	cfg := DefaultConfig(CascadeLake, testCapacity)
+	cfg.UsePredictor = true
+	h := newHarness(t, cfg)
+	// A random miss-heavy stream trains the predictor toward miss.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		h.read(uint64(rng.Intn(1 << 20)))
+	}
+	h.drain()
+	st := h.ctl.Stats()
+	if st.PredictorMissStarts == 0 {
+		t.Error("predictor never started a parallel fetch")
+	}
+	// The stream mixes cold misses with reuse hits; the plumbing check
+	// here is that accuracy is tracked and non-degenerate.
+	if st.PredictorAccuracy <= 0.2 || st.PredictorAccuracy > 1 {
+		t.Errorf("predictor accuracy = %v out of plausible range", st.PredictorAccuracy)
+	}
+}
+
+func TestPrefetcherBringsLinesIn(t *testing.T) {
+	cfg := DefaultConfig(TDRAM, testCapacity)
+	cfg.UsePrefetcher = true
+	cfg.PrefetchDegree = 2
+	h := newHarness(t, cfg)
+	// A steady unit-stride read stream trains the prefetcher.
+	for i := uint64(0); i < 64; i++ {
+		h.read(1000 + i)
+		h.drain()
+	}
+	st := h.ctl.Stats()
+	if st.PrefetchesIssued == 0 {
+		t.Fatal("stride stream issued no prefetches")
+	}
+	if st.PrefetchesUseful == 0 {
+		t.Error("no prefetch was ever referenced")
+	}
+	// Demands covered by prefetch hit (or wait on the prefetch fill).
+	hits := st.Outcomes.Count(mem.ReadHit) + st.ConflictWaits
+	if hits < 32 {
+		t.Errorf("stride stream saw only %d hits/merges of 64", hits)
+	}
+}
+
+func TestSetAssociativeController(t *testing.T) {
+	cfg := DefaultConfig(TDRAM, testCapacity)
+	cfg.Ways = 4
+	h := newHarness(t, cfg)
+	// 1024 sets now: lines 0, 1024, 2048, 3072, 4096 map to set 0.
+	for i := uint64(0); i < 4; i++ {
+		h.read(i * 1024)
+	}
+	h.drain()
+	for i := uint64(0); i < 4; i++ {
+		h.read(i * 1024) // all still resident in 4 ways
+	}
+	h.drain()
+	st := h.ctl.Stats()
+	if got := st.Outcomes.Count(mem.ReadHit); got != 4 {
+		t.Errorf("hits with 4 ways = %d, want 4", got)
+	}
+}
+
+func TestBloatOrdering(t *testing.T) {
+	// A high-miss mixed stream: the paper's Table IV ordering must hold:
+	// Alloy > CascadeLake > BEAR > NDC ~= TDRAM.
+	run := func(d Design) float64 {
+		h := defaultHarness(t, d)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 600; i++ {
+			line := uint64(rng.Intn(1 << 16))
+			if rng.Intn(100) < 30 {
+				h.write(line)
+			} else {
+				h.read(line)
+			}
+		}
+		h.drain()
+		return h.ctl.Stats().BloatFactor()
+	}
+	alloy, cl, bear, ndc, td := run(Alloy), run(CascadeLake), run(BEAR), run(NDC), run(TDRAM)
+	t.Logf("bloat: alloy=%.2f cl=%.2f bear=%.2f ndc=%.2f tdram=%.2f", alloy, cl, bear, ndc, td)
+	if !(alloy > cl) {
+		t.Errorf("Alloy bloat %.2f not above CascadeLake %.2f", alloy, cl)
+	}
+	// BEAR's set-dueling bypass only sheds fills when that costs no hits;
+	// on this reuse-free stream it must undercut Alloy decisively and sit
+	// near (our model: at or slightly above) Cascade Lake.
+	if !(alloy > bear) {
+		t.Errorf("Alloy bloat %.2f not above BEAR %.2f", alloy, bear)
+	}
+	if bear > cl*1.15 {
+		t.Errorf("BEAR bloat %.2f far above CascadeLake %.2f", bear, cl)
+	}
+	if !(bear > td) {
+		t.Errorf("BEAR bloat %.2f not above TDRAM %.2f", bear, td)
+	}
+	if diff := ndc - td; diff < -0.25 || diff > 0.25 {
+		t.Errorf("NDC bloat %.2f far from TDRAM %.2f", ndc, td)
+	}
+	if td < 1.5 {
+		t.Errorf("high-miss TDRAM bloat %.2f implausibly low", td)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	h := defaultHarness(t, TDRAM)
+	h.read(1)
+	h.drain()
+	h.ctl.ResetStats()
+	st := h.ctl.Stats()
+	if st.DemandReads != 0 || st.Outcomes.Total() != 0 || st.Traffic.Total() != 0 {
+		t.Error("stats survived reset")
+	}
+	// Content survives: the next read hits.
+	h.read(1)
+	h.drain()
+	if h.ctl.Stats().Outcomes.Count(mem.ReadHit) != 1 {
+		t.Error("cache content lost on stats reset")
+	}
+}
+
+// Property: any interleaving of reads and writes on any design drains
+// with every read completed, outcome counts consistent, and the flush
+// buffer within bounds.
+func TestControllerDrainProperty(t *testing.T) {
+	designs := Designs()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := designs[rng.Intn(len(designs))]
+		h := defaultHarness(t, d)
+		n := 150 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			line := uint64(rng.Intn(12000))
+			if rng.Intn(100) < 35 {
+				h.write(line)
+			} else {
+				h.read(line)
+			}
+		}
+		h.drain()
+		st := h.ctl.Stats()
+		if h.completed != h.issued {
+			return false
+		}
+		if st.FlushMax > h.ctl.cfg.FlushEntries {
+			return false
+		}
+		// Every demand that reached the DRAM got an outcome; conflict
+		// waiters legitimately bypass the tag check.
+		if st.Outcomes.Total()+st.ConflictWaits != st.DemandReads+st.DemandWrites {
+			return false
+		}
+		// Accounting invariants: the energy meters and the traffic
+		// breakdown must agree byte-for-byte on both buses.
+		cm, mmM := h.ctl.Meters()
+		if cm.Bytes != st.Traffic.CacheTotal() {
+			t.Logf("cache meter %d bytes vs traffic %d", cm.Bytes, st.Traffic.CacheTotal())
+			return false
+		}
+		if mmM.Bytes != st.Traffic.MMDemandBytes+st.Traffic.MMWritebackBytes {
+			t.Logf("mm meter %d bytes vs traffic %d", mmM.Bytes,
+				st.Traffic.MMDemandBytes+st.Traffic.MMWritebackBytes)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 24}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkControllerTDRAM(b *testing.B) {
+	s := sim.New()
+	mm, _ := backing.New(s, dram.DDR5Params())
+	ctl, _ := New(s, DefaultConfig(TDRAM, testCapacity), mm)
+	rng := rand.New(rand.NewSource(1))
+	completed := 0
+	for i := 0; i < b.N; i++ {
+		req := &mem.Request{ID: uint64(i), Addr: uint64(rng.Intn(1<<18)) * 64, Kind: mem.Read,
+			OnDone: func(*mem.Request) { completed++ }}
+		for !ctl.Enqueue(req) {
+			s.Step()
+		}
+	}
+	s.Run(0)
+}

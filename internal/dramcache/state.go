@@ -1,0 +1,184 @@
+// Package dramcache implements the DRAM-cache controller and the six
+// evaluated designs from the paper: Intel Cascade Lake-style
+// tags-in-ECC caching, Alloy, BEAR, NDC, TDRAM, and an Ideal
+// (zero-latency-tag) upper bound, plus a no-DRAM-cache pass-through used
+// by Figs. 2 and 12. The controller models per-channel read/write
+// queues, FR-FCFS scheduling with write draining, a conflicting-request
+// buffer, fills and writebacks against the DDR5 backing store, and the
+// TDRAM device behaviours: in-DRAM tag compare, conditional column
+// operation, the HM bus, the flush buffer and early tag probing.
+package dramcache
+
+import (
+	"fmt"
+
+	"tdram/internal/mem"
+)
+
+// lineState is the metadata of one resident line.
+type lineState struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	inflight bool   // fill from main memory pending
+	lru      uint64 // larger = more recently used
+}
+
+// tagStore is the functional content state of the DRAM cache: a
+// set-associative (ways=1 gives the paper's default direct-mapped)
+// insert-on-miss tag array. It tracks only metadata — the simulator never
+// moves real data — and is the single source of truth every design's tag
+// check consults.
+type tagStore struct {
+	sets    uint64
+	ways    int
+	lines   []lineState
+	lruTick uint64
+}
+
+// newTagStore sizes the store for capacityBytes of 64 B lines.
+func newTagStore(capacityBytes uint64, ways int) (*tagStore, error) {
+	if ways <= 0 {
+		return nil, fmt.Errorf("dramcache: ways = %d", ways)
+	}
+	lines := capacityBytes / mem.LineSize
+	if lines == 0 || lines%uint64(ways) != 0 {
+		return nil, fmt.Errorf("dramcache: capacity %d not divisible into %d ways", capacityBytes, ways)
+	}
+	return &tagStore{sets: lines / uint64(ways), ways: ways, lines: make([]lineState, lines)}, nil
+}
+
+func (t *tagStore) set(line uint64) (uint64, uint64) {
+	return line % t.sets, line / t.sets
+}
+
+// lineOf reconstructs a line address from set and tag.
+func (t *tagStore) lineOf(set, tag uint64) uint64 { return tag*t.sets + set }
+
+// probe is a read-only lookup.
+type probeResult struct {
+	Hit      bool
+	Dirty    bool // dirty bit of the hit line, or of the LRU victim on miss
+	Inflight bool // the hit line's fill is still pending
+	Victim   uint64
+}
+
+func (t *tagStore) probe(line uint64) probeResult {
+	set, tag := t.set(line)
+	base := set * uint64(t.ways)
+	var victim *lineState
+	for w := 0; w < t.ways; w++ {
+		l := &t.lines[base+uint64(w)]
+		if l.valid && l.tag == tag {
+			return probeResult{Hit: true, Dirty: l.dirty, Inflight: l.inflight}
+		}
+		if victim == nil || !l.valid || (victim.valid && l.lru < victim.lru) {
+			if victim == nil || victim.valid {
+				victim = l
+			}
+		}
+	}
+	r := probeResult{}
+	if victim.valid {
+		r.Dirty = victim.dirty
+		r.Victim = t.lineOf(set, victim.tag)
+	}
+	return r
+}
+
+// access performs the tag check and the insert-on-miss state transition
+// in one atomic step (the commit point of the access's tag check). It
+// returns the paper's Table II outcome and, when a valid victim is
+// displaced, its line address and dirty bit.
+//
+// write=true marks the line dirty (demand writes carry the full 64 B).
+// fillPending marks a read miss's new line inflight until the fill
+// arrives; writes install complete lines and are never inflight.
+// install=false (BEAR's bypassed fills) evaluates the outcome without
+// modifying state.
+func (t *tagStore) access(line uint64, write, install bool) (out mem.Outcome, victim uint64, victimDirty bool) {
+	set, tag := t.set(line)
+	base := set * uint64(t.ways)
+	t.lruTick++
+	var slot *lineState
+	for w := 0; w < t.ways; w++ {
+		l := &t.lines[base+uint64(w)]
+		if l.valid && l.tag == tag {
+			// Hit.
+			l.lru = t.lruTick
+			if write {
+				l.dirty = true
+			}
+			if write {
+				return mem.WriteHit, 0, false
+			}
+			return mem.ReadHit, 0, false
+		}
+		if slot == nil || !l.valid || (slot.valid && l.lru < slot.lru) {
+			if slot == nil || slot.valid {
+				slot = l
+			}
+		}
+	}
+	// Miss: classify against the LRU victim, then install.
+	kind := mem.Read
+	if write {
+		kind = mem.Write
+	}
+	if slot.valid {
+		victim = t.lineOf(set, slot.tag)
+		victimDirty = slot.dirty
+	}
+	out = mem.ClassifyOutcome(kind, false, slot.valid && slot.dirty)
+	if !install {
+		return out, victim, victimDirty
+	}
+	*slot = lineState{tag: tag, valid: true, dirty: write, inflight: !write, lru: t.lruTick}
+	return out, victim, victimDirty
+}
+
+// fillDone clears the inflight bit of a previously installed read miss.
+// It reports false when the line was displaced before its fill arrived
+// (possible under heavy conflict traffic; the fill is then dropped).
+func (t *tagStore) fillDone(line uint64) bool {
+	set, tag := t.set(line)
+	base := set * uint64(t.ways)
+	for w := 0; w < t.ways; w++ {
+		l := &t.lines[base+uint64(w)]
+		if l.valid && l.tag == tag {
+			l.inflight = false
+			return true
+		}
+	}
+	return false
+}
+
+// markDirty sets the dirty bit of a resident line (used when a waiting
+// write drains from the conflict buffer after its line's fill).
+func (t *tagStore) markDirty(line uint64) bool {
+	set, tag := t.set(line)
+	base := set * uint64(t.ways)
+	for w := 0; w < t.ways; w++ {
+		l := &t.lines[base+uint64(w)]
+		if l.valid && l.tag == tag {
+			l.dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// occupancy reports valid and dirty line fractions (diagnostics).
+func (t *tagStore) occupancy() (valid, dirty float64) {
+	var v, d int
+	for i := range t.lines {
+		if t.lines[i].valid {
+			v++
+			if t.lines[i].dirty {
+				d++
+			}
+		}
+	}
+	n := float64(len(t.lines))
+	return float64(v) / n, float64(d) / n
+}

@@ -1,0 +1,181 @@
+package dramcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdram/internal/mem"
+)
+
+func newStore(t *testing.T, lines uint64, ways int) *tagStore {
+	t.Helper()
+	ts, err := newTagStore(lines*mem.LineSize, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestTagStoreErrors(t *testing.T) {
+	if _, err := newTagStore(64, 0); err == nil {
+		t.Error("zero ways accepted")
+	}
+	if _, err := newTagStore(0, 1); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := newTagStore(64*5, 2); err == nil {
+		t.Error("non-divisible capacity accepted")
+	}
+}
+
+func TestDirectMappedFlow(t *testing.T) {
+	ts := newStore(t, 8, 1)
+	// Cold read: read to invalid counts as read-miss-clean (Table II).
+	out, _, _ := ts.access(3, false, true)
+	if out != mem.ReadMissClean {
+		t.Fatalf("cold read outcome = %v", out)
+	}
+	// The fill is pending.
+	if pr := ts.probe(3); !pr.Hit || !pr.Inflight {
+		t.Fatalf("installed line probe = %+v", pr)
+	}
+	if !ts.fillDone(3) {
+		t.Fatal("fillDone missed the line")
+	}
+	if pr := ts.probe(3); pr.Inflight {
+		t.Fatal("inflight survived fillDone")
+	}
+	out, _, _ = ts.access(3, false, true)
+	if out != mem.ReadHit {
+		t.Errorf("second read = %v", out)
+	}
+	// Write hit dirties.
+	out, _, _ = ts.access(3, true, true)
+	if out != mem.WriteHit {
+		t.Errorf("write = %v", out)
+	}
+	// Conflicting read (same set, 8 sets): line 11 evicts dirty line 3.
+	out, victim, vd := ts.access(11, false, true)
+	if out != mem.ReadMissDirty || victim != 3 || !vd {
+		t.Errorf("conflict read = %v victim=%d dirty=%v", out, victim, vd)
+	}
+}
+
+func TestWriteMissOutcomes(t *testing.T) {
+	ts := newStore(t, 8, 1)
+	out, _, _ := ts.access(5, true, true)
+	if out != mem.WriteMissClean {
+		t.Fatalf("write to invalid = %v", out)
+	}
+	// Write demands install full dirty lines, never inflight.
+	if pr := ts.probe(5); !pr.Hit || pr.Inflight || !pr.Dirty {
+		t.Fatalf("after write install: %+v", pr)
+	}
+	out, victim, vd := ts.access(13, true, true)
+	if out != mem.WriteMissDirty || victim != 5 || !vd {
+		t.Errorf("conflicting write = %v victim=%d dirty=%v", out, victim, vd)
+	}
+}
+
+func TestNoInstallPeek(t *testing.T) {
+	ts := newStore(t, 8, 1)
+	out, _, _ := ts.access(2, false, false)
+	if out != mem.ReadMissClean {
+		t.Fatalf("outcome = %v", out)
+	}
+	if pr := ts.probe(2); pr.Hit {
+		t.Error("install=false modified state")
+	}
+}
+
+func TestSetAssociativeLRU(t *testing.T) {
+	ts := newStore(t, 16, 2) // 8 sets, 2 ways
+	// Lines 0, 8, 16 share set 0.
+	ts.access(0, false, true)
+	ts.access(8, false, true)
+	ts.access(0, false, true) // 0 MRU
+	_, victim, _ := ts.access(16, false, true)
+	if victim != 8 {
+		t.Errorf("victim = %d, want LRU 8", victim)
+	}
+	if pr := ts.probe(0); !pr.Hit {
+		t.Error("MRU line evicted")
+	}
+}
+
+func TestMarkDirtyAndOccupancy(t *testing.T) {
+	ts := newStore(t, 8, 1)
+	ts.access(1, false, true)
+	if !ts.markDirty(1) {
+		t.Error("markDirty missed resident line")
+	}
+	if ts.markDirty(99) {
+		t.Error("markDirty hit absent line")
+	}
+	v, d := ts.occupancy()
+	if v != 0.125 || d != 0.125 {
+		t.Errorf("occupancy = %v/%v", v, d)
+	}
+}
+
+func TestFillDoneAfterEviction(t *testing.T) {
+	ts := newStore(t, 8, 1)
+	ts.access(0, false, true)
+	ts.access(8, true, true) // evicts 0 before its fill
+	if ts.fillDone(0) {
+		t.Error("fillDone found evicted line")
+	}
+}
+
+// Property: outcome classification always matches a reference model of
+// the direct-mapped content.
+func TestTagStoreReferenceProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ts, err := newTagStore(16*mem.LineSize, 1)
+		if err != nil {
+			return false
+		}
+		type entry struct {
+			line  uint64
+			valid bool
+			dirty bool
+		}
+		ref := make([]entry, 16)
+		for _, o := range ops {
+			line := uint64(o % 64)
+			write := o%3 == 0
+			set := line % 16
+			e := &ref[set]
+			var want mem.Outcome
+			switch {
+			case e.valid && e.line == line:
+				want = mem.ReadHit
+				if write {
+					want = mem.WriteHit
+				}
+			default:
+				kind := mem.Read
+				if write {
+					kind = mem.Write
+				}
+				want = mem.ClassifyOutcome(kind, false, e.valid && e.dirty)
+			}
+			got, _, _ := ts.access(line, write, true)
+			if got != want {
+				return false
+			}
+			// Apply to reference.
+			if want.IsHit() {
+				if write {
+					e.dirty = true
+				}
+			} else {
+				*e = entry{line: line, valid: true, dirty: write}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGF16Axioms(t *testing.T) {
+	// Multiplication agrees with the log tables and is a field: every
+	// nonzero element has an inverse, and a*(b+c) = a*b + a*c.
+	for a := byte(1); a < 16; a++ {
+		inv := gfDiv(1, a)
+		if gfMul(a, inv) != 1 {
+			t.Fatalf("%x * %x != 1", a, inv)
+		}
+	}
+	for a := byte(0); a < 16; a++ {
+		for b := byte(0); b < 16; b++ {
+			for c := byte(0); c < 16; c++ {
+				if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+					t.Fatalf("distributivity fails at %x,%x,%x", a, b, c)
+				}
+			}
+		}
+	}
+	if gfPow(0) != 1 || gfPow(15) != 1 || gfPow(-1) != gfPow(14) {
+		t.Error("gfPow cycle wrong")
+	}
+}
+
+func TestGF16DivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	gfDiv(3, 0)
+}
+
+func TestTagCheckBudget(t *testing.T) {
+	// §III-C5: 16 bits of tag+metadata leave exactly 8 bits for ECC.
+	if TagCheckBits() != 8 {
+		t.Errorf("check bits = %d, want 8", TagCheckBits())
+	}
+}
+
+func TestTagRoundTripClean(t *testing.T) {
+	for _, w := range []uint16{0, 1, 0xFFFF, 0xA5C3, 0x8000} {
+		cw := EncodeTag(w)
+		got, corrected, err := DecodeTag(cw)
+		if err != nil || corrected || got != w {
+			t.Errorf("word %#x: got %#x corrected=%v err=%v", w, got, corrected, err)
+		}
+	}
+}
+
+// Exhaustive: every single-symbol error in every position of many
+// codewords is corrected (the RS(6,4) single-symbol guarantee).
+func TestTagCorrectsEverySingleSymbolError(t *testing.T) {
+	words := []uint16{0, 0xFFFF, 0x1234, 0xDEAD, 0x5555, 0xAAAA}
+	for _, w := range words {
+		clean := EncodeTag(w)
+		for pos := 0; pos < TagCodewordSymbols; pos++ {
+			for e := byte(1); e < 16; e++ {
+				cw := clean
+				cw[pos] ^= e
+				got, corrected, err := DecodeTag(cw)
+				if err != nil {
+					t.Fatalf("word %#x pos %d err %x: %v", w, pos, e, err)
+				}
+				if !corrected || got != w {
+					t.Fatalf("word %#x pos %d err %x: got %#x corrected=%v", w, pos, e, got, corrected)
+				}
+			}
+		}
+	}
+}
+
+// Property: random words survive random single-symbol corruption.
+func TestTagSingleErrorProperty(t *testing.T) {
+	f := func(w uint16, pos, e uint8) bool {
+		cw := EncodeTag(w)
+		cw[int(pos)%TagCodewordSymbols] ^= (e%15 + 1) & 0xF
+		got, _, err := DecodeTag(cw)
+		return err == nil && got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagDetectsManyDoubleErrors(t *testing.T) {
+	// Two corrupted symbols exceed RS(6,4)'s correction power: the
+	// decoder must either flag the codeword or (unavoidably for some
+	// patterns) miscorrect — it must never silently return the original
+	// word as "clean".
+	clean := EncodeTag(0x1234)
+	flagged, miscorrected := 0, 0
+	for p1 := 0; p1 < TagCodewordSymbols; p1++ {
+		for p2 := p1 + 1; p2 < TagCodewordSymbols; p2++ {
+			cw := clean
+			cw[p1] ^= 0x5
+			cw[p2] ^= 0xA
+			got, corrected, err := DecodeTag(cw)
+			switch {
+			case err != nil:
+				flagged++
+			case corrected && got != 0x1234:
+				miscorrected++
+			case !corrected:
+				t.Fatalf("double error at %d,%d reported clean", p1, p2)
+			case got == 0x1234:
+				t.Fatalf("double error at %d,%d silently healed", p1, p2)
+			}
+		}
+	}
+	if flagged == 0 {
+		t.Error("no double error was ever flagged")
+	}
+	t.Logf("double errors: %d flagged, %d miscorrected (expected for a distance-3 code)", flagged, miscorrected)
+}
+
+func TestDataRoundTripClean(t *testing.T) {
+	for _, d := range []uint64{0, ^uint64(0), 0xDEADBEEFCAFEF00D, 1} {
+		cw := EncodeData(d)
+		got, corrected, err := DecodeData(cw)
+		if err != nil || corrected || got != d {
+			t.Errorf("data %#x: got %#x corrected=%v err=%v", d, got, corrected, err)
+		}
+	}
+}
+
+func TestDataCorrectsEverySingleBit(t *testing.T) {
+	const d = uint64(0x0123456789ABCDEF)
+	for i := 0; i < 64; i++ {
+		cw := EncodeData(d)
+		cw.FlipDataBit(i)
+		got, corrected, err := DecodeData(cw)
+		if err != nil || !corrected || got != d {
+			t.Fatalf("data bit %d: got %#x corrected=%v err=%v", i, got, corrected, err)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		cw := EncodeData(d)
+		cw.FlipCheckBit(i)
+		got, corrected, err := DecodeData(cw)
+		if err != nil || !corrected || got != d {
+			t.Fatalf("check bit %d: got %#x corrected=%v err=%v", i, got, corrected, err)
+		}
+	}
+	cw := EncodeData(d)
+	cw.FlipParity()
+	if got, corrected, err := DecodeData(cw); err != nil || !corrected || got != d {
+		t.Fatalf("parity flip: got %#x corrected=%v err=%v", got, corrected, err)
+	}
+}
+
+func TestDataDetectsDoubleBit(t *testing.T) {
+	const d = uint64(0xFEEDFACE12345678)
+	pairs := [][2]int{{0, 1}, {3, 40}, {62, 63}, {7, 13}}
+	for _, p := range pairs {
+		cw := EncodeData(d)
+		cw.FlipDataBit(p[0])
+		cw.FlipDataBit(p[1])
+		if _, _, err := DecodeData(cw); err == nil {
+			t.Errorf("double flip %v undetected", p)
+		}
+	}
+}
+
+// Property: random single-bit corruption anywhere always corrects.
+func TestDataSingleErrorProperty(t *testing.T) {
+	f := func(d uint64, which uint8) bool {
+		cw := EncodeData(d)
+		switch pos := int(which) % 72; {
+		case pos < 64:
+			cw.FlipDataBit(pos)
+		case pos < 71:
+			cw.FlipCheckBit(pos - 64)
+		default:
+			cw.FlipParity()
+		}
+		got, corrected, err := DecodeData(cw)
+		return err == nil && corrected && got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeTag(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		EncodeTag(uint16(i))
+	}
+}
+
+func BenchmarkDecodeTagCorrupted(b *testing.B) {
+	cw := EncodeTag(0xBEEF)
+	cw[3] ^= 0x7
+	for i := 0; i < b.N; i++ {
+		DecodeTag(cw)
+	}
+}
+
+func BenchmarkEncodeData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		EncodeData(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+}

@@ -1,0 +1,67 @@
+// Package ecc implements the error-correction codes the paper's §III-C3
+// describes for TDRAM: tags and data carry *separate* ECC, analyzed and
+// corrected by on-DRAM-die circuitry. The 16 bits of tag+metadata (14-bit
+// tag + valid + dirty for a 1 PB space over a 64 GiB cache) leave 8 bits
+// of check storage, which the paper suggests spending on a symbol-based
+// Reed-Solomon code — implemented here as RS(6,4) over GF(16): four 4-bit
+// data symbols, two check symbols, correcting any single-symbol error
+// (any error burst confined to one 4-bit nibble). Data beats use the
+// classic SECDED Hamming(72,64).
+package ecc
+
+// GF(16) arithmetic with the primitive polynomial x^4 + x + 1 (0x13).
+// The field is tiny, so log/antilog tables are built at init.
+
+const (
+	gfSize  = 16
+	gfPrim  = 0x13 // x^4 + x + 1
+	gfAlpha = 2    // generator element
+)
+
+var (
+	gfExp [2 * gfSize]byte // alpha^i, doubled to avoid mod in mul
+	gfLog [gfSize]byte     // log_alpha(x), undefined for 0
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < gfSize-1; i++ {
+		gfExp[i] = x
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x10 != 0 {
+			x ^= gfPrim
+		}
+	}
+	for i := gfSize - 1; i < len(gfExp); i++ {
+		gfExp[i] = gfExp[i-(gfSize-1)]
+	}
+}
+
+// gfMul multiplies two GF(16) elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides a by b (b != 0).
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("ecc: division by zero in GF(16)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+gfSize-1-int(gfLog[b])]
+}
+
+// gfPow raises alpha to the given power.
+func gfPow(n int) byte {
+	n %= gfSize - 1
+	if n < 0 {
+		n += gfSize - 1
+	}
+	return gfExp[n]
+}

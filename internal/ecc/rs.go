@@ -1,0 +1,106 @@
+package ecc
+
+import "fmt"
+
+// TagCode is the paper's tag+metadata protection: RS(6,4) over GF(16).
+// A 16-bit word (14-bit tag + valid + dirty) is split into four 4-bit
+// symbols; two check symbols (8 bits — exactly the budget §III-C5
+// leaves) correct any error confined to a single symbol.
+
+// TagCodewordSymbols is the RS codeword length in 4-bit symbols.
+const TagCodewordSymbols = 6
+
+// tagDataSymbols is the message length in symbols.
+const tagDataSymbols = 4
+
+// g(x) = (x - a^0)(x - a^1) = x^2 + 3x + 2 over GF(16).
+var rsGen = [3]byte{2, 3, 1} // coefficients, lowest degree first
+
+// TagCodeword is an encoded tag+metadata word: symbols[0..1] are the
+// check symbols, symbols[2..5] the data, lowest nibble first.
+type TagCodeword [TagCodewordSymbols]byte
+
+// EncodeTag produces the RS(6,4) codeword of a 16-bit tag+metadata word.
+func EncodeTag(word uint16) TagCodeword {
+	var cw TagCodeword
+	for i := 0; i < tagDataSymbols; i++ {
+		cw[2+i] = byte(word>>(4*i)) & 0xF
+	}
+	// Systematic encoding: remainder of m(x)*x^2 divided by g(x).
+	var rem [2]byte
+	for i := tagDataSymbols - 1; i >= 0; i-- {
+		factor := cw[2+i] ^ rem[1]
+		rem[1] = rem[0] ^ gfMul(factor, rsGen[1])
+		rem[0] = gfMul(factor, rsGen[0])
+	}
+	cw[0], cw[1] = rem[0], rem[1]
+	return cw
+}
+
+// Word extracts the (possibly corrupted) 16-bit data word.
+func (cw TagCodeword) Word() uint16 {
+	var w uint16
+	for i := 0; i < tagDataSymbols; i++ {
+		w |= uint16(cw[2+i]&0xF) << (4 * i)
+	}
+	return w
+}
+
+// syndromes evaluates the codeword at alpha^0 and alpha^1.
+func (cw TagCodeword) syndromes() (s0, s1 byte) {
+	for j := TagCodewordSymbols - 1; j >= 0; j-- {
+		s0 ^= cw[j]
+		s1 = gfMul(s1, gfAlpha) ^ cw[j]
+	}
+	return
+}
+
+// DecodeTag corrects up to one symbol error in place and returns the
+// recovered word. corrected reports whether a correction happened; an
+// error is returned when the syndromes are inconsistent (more than one
+// symbol is corrupt).
+func DecodeTag(cw TagCodeword) (word uint16, corrected bool, err error) {
+	s0, s1 := cw.syndromes()
+	if s0 == 0 && s1 == 0 {
+		return cw.Word(), false, nil
+	}
+	if s0 == 0 || s1 == 0 {
+		return cw.Word(), false, fmt.Errorf("ecc: uncorrectable tag codeword (syndromes %x,%x)", s0, s1)
+	}
+	// Single error of value s0 at position log(s1/s0).
+	pos := int(gfLog[gfDiv(s1, s0)])
+	if pos >= TagCodewordSymbols {
+		return cw.Word(), false, fmt.Errorf("ecc: error position %d outside codeword", pos)
+	}
+	cw[pos] ^= s0
+	if rs0, rs1 := cw.syndromes(); rs0 != 0 || rs1 != 0 {
+		return cw.Word(), false, fmt.Errorf("ecc: correction did not converge")
+	}
+	return cw.Word(), true, nil
+}
+
+// TagCheckBits reports the check overhead in bits (the paper's budget: 8).
+func TagCheckBits() int { return 4 * (TagCodewordSymbols - tagDataSymbols) }
+
+// SelfCheck exercises both codecs on fixed patterns — the model of the
+// base-die BIST pass the paper describes running at startup (§III-C3,
+// which also zeroes the tag mats). It returns the first inconsistency.
+func SelfCheck() error {
+	for _, w := range []uint16{0x0000, 0xFFFF, 0x5A5A, 0x3FFF} {
+		cw := EncodeTag(w)
+		cw[3] ^= 0x9
+		got, corrected, err := DecodeTag(cw)
+		if err != nil || !corrected || got != w {
+			return fmt.Errorf("ecc: tag self-check failed for %#x: %v", w, err)
+		}
+	}
+	for _, d := range []uint64{0, ^uint64(0), 0x0123456789ABCDEF} {
+		cw := EncodeData(d)
+		cw.FlipDataBit(17)
+		got, corrected, err := DecodeData(cw)
+		if err != nil || !corrected || got != d {
+			return fmt.Errorf("ecc: data self-check failed for %#x: %v", d, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package ecc
+
+import "fmt"
+
+// Data-beat protection: the classic SECDED Hamming(72,64) used
+// throughout DRAM practice — 64 data bits, 7 Hamming check bits and one
+// overall parity bit. Single-bit errors are corrected, double-bit errors
+// detected (the baseline HBM3 behaviour the paper keeps for data).
+
+// DataCodeword is one protected 64-bit beat.
+type DataCodeword struct {
+	Data   uint64
+	Check  byte // 7 Hamming check bits (bit i covers positions with bit i set)
+	Parity byte // overall parity over data+check
+}
+
+// dataPositions maps each of the 64 data bits to its Hamming position
+// (1..72, skipping the power-of-two slots that hold check bits).
+var dataPositions [64]uint8
+
+func init() {
+	pos := uint8(1)
+	for i := 0; i < 64; i++ {
+		for pos&(pos-1) == 0 { // skip powers of two (check-bit slots)
+			pos++
+		}
+		dataPositions[i] = pos
+		pos++
+	}
+}
+
+// hammingChecks computes the 7 check bits over the data bits.
+func hammingChecks(data uint64) byte {
+	var check byte
+	for i := 0; i < 64; i++ {
+		if data&(1<<uint(i)) != 0 {
+			check ^= dataPositions[i]
+		}
+	}
+	return check & 0x7F
+}
+
+// parity64 reduces a word to one parity bit.
+func parity64(v uint64) byte {
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return byte(v & 1)
+}
+
+// EncodeData protects one 64-bit beat.
+func EncodeData(data uint64) DataCodeword {
+	check := hammingChecks(data)
+	var cb byte
+	for i := 0; i < 7; i++ {
+		cb ^= (check >> uint(i)) & 1
+	}
+	return DataCodeword{
+		Data:   data,
+		Check:  check,
+		Parity: parity64(data) ^ cb,
+	}
+}
+
+// FlipDataBit flips one data bit (error injection).
+func (c *DataCodeword) FlipDataBit(i int) { c.Data ^= 1 << uint(i) }
+
+// FlipCheckBit flips one check bit (error injection).
+func (c *DataCodeword) FlipCheckBit(i int) { c.Check ^= 1 << uint(i) }
+
+// FlipParity flips the overall parity bit (error injection).
+func (c *DataCodeword) FlipParity() { c.Parity ^= 1 }
+
+// DecodeData corrects a single-bit error and detects double-bit errors.
+func DecodeData(c DataCodeword) (data uint64, corrected bool, err error) {
+	syndrome := (hammingChecks(c.Data) ^ c.Check) & 0x7F
+	var cb byte
+	for i := 0; i < 7; i++ {
+		cb ^= (c.Check >> uint(i)) & 1
+	}
+	parityErr := (parity64(c.Data) ^ cb ^ c.Parity) & 1
+
+	switch {
+	case syndrome == 0 && parityErr == 0:
+		return c.Data, false, nil
+	case syndrome == 0 && parityErr == 1:
+		// The overall parity bit itself flipped.
+		return c.Data, true, nil
+	case parityErr == 0:
+		// Nonzero syndrome with even overall parity: two bits flipped.
+		return c.Data, false, fmt.Errorf("ecc: double-bit error detected (syndrome %#x)", syndrome)
+	}
+	// Single-bit error at Hamming position `syndrome`.
+	if syndrome&(syndrome-1) == 0 {
+		// A check-bit slot: the data is intact.
+		return c.Data, true, nil
+	}
+	for i, p := range dataPositions {
+		if p == syndrome {
+			return c.Data ^ (1 << uint(i)), true, nil
+		}
+	}
+	return c.Data, false, fmt.Errorf("ecc: syndrome %#x addresses no bit", syndrome)
+}

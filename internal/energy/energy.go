@@ -1,0 +1,95 @@
+// Package energy implements the analytic DRAM energy model used for the
+// paper's Fig. 13. The paper scales a proprietary HBM2 power model to
+// HBM3; here the coefficients are drawn from public HBM literature
+// (O'Connor et al., "Fine-Grained DRAM", MICRO'17, and the HBM power
+// breakdown the paper itself cites: ~62.6 % of HBM power is data
+// movement between core and controller). The reproduction targets
+// relative energy between designs, which is dominated by the counted
+// events — activations, column operations, and above all bits moved on
+// the DQ bus — so the component structure matters more than the exact
+// picojoule values.
+package energy
+
+import "tdram/internal/sim"
+
+// Coeffs are per-event energies (joules) and background power (watts).
+type Coeffs struct {
+	ActJ        float64 // one data-bank activate+precharge
+	TagActJ     float64 // one tag-mat activate (TDRAM's small mats)
+	ColJ        float64 // one 64 B internal column operation
+	BitJ        float64 // one bit transferred on the DQ interface
+	HMJ         float64 // one HM-bus result transfer (24 bits + strobes)
+	RefreshJ    float64 // one all-bank refresh of one channel
+	BackgroundW float64 // static power per channel
+}
+
+// HBMCache returns coefficients for the on-package HBM3-class cache
+// device. IO energy ~3.5 pJ/bit (on-interposer), activation ~0.9 nJ for
+// a paired-bank 64 B access.
+func HBMCache() Coeffs {
+	return Coeffs{
+		ActJ:        0.9e-9,
+		TagActJ:     0.12e-9, // quarter-size mats, ~1/8 the row energy
+		ColJ:        0.35e-9,
+		BitJ:        3.5e-12,
+		HMJ:         0.1e-9,
+		RefreshJ:    25e-9,
+		BackgroundW: 0.080,
+	}
+}
+
+// DDR5 returns coefficients for the off-package DDR5 backing store; its
+// IO crosses the board (~15 pJ/bit system energy).
+func DDR5() Coeffs {
+	return Coeffs{
+		ActJ:        1.6e-9,
+		ColJ:        0.5e-9,
+		BitJ:        15e-12,
+		RefreshJ:    80e-9,
+		BackgroundW: 0.100,
+	}
+}
+
+// Meter accumulates event counts for one device and renders them into a
+// Breakdown. Controllers bump the counters as they commit operations —
+// notably, TDRAM's conditional column operation simply never bumps Col
+// or Bytes on a read-miss-clean, which is where its energy saving
+// appears.
+type Meter struct {
+	Coeffs   Coeffs
+	Channels int
+
+	Acts      uint64
+	TagActs   uint64
+	Cols      uint64
+	Bytes     uint64
+	HMs       uint64
+	Refreshes uint64
+}
+
+// NewMeter builds a meter for a device with the given channel count.
+func NewMeter(c Coeffs, channels int) *Meter { return &Meter{Coeffs: c, Channels: channels} }
+
+// Breakdown is the energy decomposition in joules.
+type Breakdown struct {
+	Act, Tag, Col, IO, HM, Refresh, Background float64
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.Act + b.Tag + b.Col + b.IO + b.HM + b.Refresh + b.Background
+}
+
+// Render computes the breakdown for a run of the given length.
+func (m *Meter) Render(runtime sim.Tick) Breakdown {
+	sec := float64(runtime) * 1e-12
+	return Breakdown{
+		Act:        float64(m.Acts) * m.Coeffs.ActJ,
+		Tag:        float64(m.TagActs) * m.Coeffs.TagActJ,
+		Col:        float64(m.Cols) * m.Coeffs.ColJ,
+		IO:         float64(m.Bytes) * 8 * m.Coeffs.BitJ,
+		HM:         float64(m.HMs) * m.Coeffs.HMJ,
+		Refresh:    float64(m.Refreshes) * m.Coeffs.RefreshJ,
+		Background: sec * m.Coeffs.BackgroundW * float64(m.Channels),
+	}
+}

@@ -1,0 +1,77 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tdram/internal/sim"
+)
+
+func TestBreakdownComponents(t *testing.T) {
+	m := NewMeter(HBMCache(), 8)
+	m.Acts = 1000
+	m.Cols = 900
+	m.Bytes = 900 * 64
+	m.TagActs = 1000
+	m.HMs = 1000
+	m.Refreshes = 10
+	b := m.Render(sim.Tick(1e9)) // 1 ms
+	if b.Act <= 0 || b.Col <= 0 || b.IO <= 0 || b.Tag <= 0 || b.HM <= 0 || b.Refresh <= 0 || b.Background <= 0 {
+		t.Fatalf("zero component: %+v", b)
+	}
+	want := b.Act + b.Tag + b.Col + b.IO + b.HM + b.Refresh + b.Background
+	if math.Abs(b.Total()-want) > 1e-18 {
+		t.Errorf("Total = %v, want %v", b.Total(), want)
+	}
+	// IO: 900*64 bytes * 8 * 3.5pJ ≈ 1.6128e-6 J.
+	if math.Abs(b.IO-900*64*8*3.5e-12) > 1e-15 {
+		t.Errorf("IO = %v", b.IO)
+	}
+	// Background: 1e-3 s * 0.08 W * 8 channels = 0.64 mJ.
+	if math.Abs(b.Background-0.64e-3) > 1e-9 {
+		t.Errorf("Background = %v", b.Background)
+	}
+}
+
+func TestIODominatesForBloatedTraffic(t *testing.T) {
+	// The paper (§V-C) notes ~62.6 % of HBM power is data movement; our
+	// coefficients must keep IO the dominant dynamic component for a
+	// traffic-heavy profile so bloat reduction translates into energy.
+	m := NewMeter(HBMCache(), 8)
+	m.Acts = 1_000_000
+	m.Cols = 1_000_000
+	m.Bytes = 1_000_000 * 64
+	b := m.Render(sim.Tick(1e9))
+	if b.IO < b.Act || b.IO < b.Col {
+		t.Errorf("IO %.3e not dominant (act %.3e, col %.3e)", b.IO, b.Act, b.Col)
+	}
+}
+
+func TestDDR5MoreExpensivePerBit(t *testing.T) {
+	if DDR5().BitJ <= HBMCache().BitJ {
+		t.Error("off-package DDR5 must cost more per bit than on-package HBM")
+	}
+}
+
+func TestTagMatCheaperThanDataMat(t *testing.T) {
+	c := HBMCache()
+	if c.TagActJ >= c.ActJ {
+		t.Error("quarter-size tag mats must cost less than data-bank activation")
+	}
+}
+
+// Property: energy is monotone in every counter.
+func TestMonotoneProperty(t *testing.T) {
+	f := func(acts, cols, bytes uint16, extraActs uint8) bool {
+		a := NewMeter(HBMCache(), 8)
+		a.Acts, a.Cols, a.Bytes = uint64(acts), uint64(cols), uint64(bytes)
+		b := NewMeter(HBMCache(), 8)
+		b.Acts, b.Cols, b.Bytes = uint64(acts)+uint64(extraActs), uint64(cols), uint64(bytes)
+		rt := sim.Tick(1e6)
+		return b.Render(rt).Total() >= a.Render(rt).Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): the access breakdown (Fig. 1), queueing delays
+// (Figs. 2, 10), bandwidth decomposition (Fig. 3), tag-check latency
+// (Fig. 9), speedups (Figs. 11, 12), bandwidth bloat (Table IV), relative
+// energy (Fig. 13), and the §V-D/E/F studies, plus ablation sweeps for
+// TDRAM's design choices. Figures 1–3 and 9–13 all derive from one
+// matrix of runs (designs x workloads), computed once and shared.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tdram/internal/dramcache"
+	"tdram/internal/stats"
+	"tdram/internal/system"
+	"tdram/internal/workload"
+)
+
+// Scale selects how much work a reproduction run does. Ratios (miss
+// bands, speedups, bloat) are scale-invariant; bigger scales tighten the
+// averages.
+type Scale struct {
+	Name            string
+	CacheBytes      uint64
+	RequestsPerCore int
+	WarmupPerCore   int
+	Workloads       []workload.Spec
+}
+
+// Full covers all 28 workloads at the default capacity.
+func Full() Scale {
+	return Scale{
+		Name:            "full",
+		CacheBytes:      16 << 20,
+		RequestsPerCore: 10000,
+		WarmupPerCore:   1000,
+		Workloads:       workload.All(),
+	}
+}
+
+// Quick covers the band-balanced representative subset; it is what the
+// testing.B benchmarks run.
+func Quick() Scale {
+	return Scale{
+		Name:            "quick",
+		CacheBytes:      8 << 20,
+		RequestsPerCore: 4000,
+		WarmupPerCore:   500,
+		Workloads:       workload.Representative(),
+	}
+}
+
+// Config builds the system configuration for one (design, workload) cell.
+func (sc Scale) Config(d dramcache.Design, wl workload.Spec) system.Config {
+	cfg := system.DefaultConfig(d, wl, sc.CacheBytes)
+	cfg.RequestsPerCore = sc.RequestsPerCore
+	cfg.WarmupPerCore = sc.WarmupPerCore
+	return cfg
+}
+
+// Key addresses one cell of the run matrix.
+type Key struct {
+	Design   dramcache.Design
+	Workload string
+}
+
+// Matrix holds the shared runs every figure derives from.
+type Matrix struct {
+	Scale   Scale
+	Results map[Key]*system.Result
+}
+
+// MatrixDesigns is the set of configurations the matrix runs per
+// workload: the six cache designs plus the main-memory-only system.
+func MatrixDesigns() []dramcache.Design {
+	return append(dramcache.Designs(), dramcache.NoCache)
+}
+
+// RunMatrix executes every (design, workload) cell. The progress
+// callback, when non-nil, receives one line per completed run.
+func RunMatrix(sc Scale, progress func(string)) (*Matrix, error) {
+	m := &Matrix{Scale: sc, Results: make(map[Key]*system.Result)}
+	for _, wl := range sc.Workloads {
+		for _, d := range MatrixDesigns() {
+			res, err := system.Run(sc.Config(d, wl))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %v: %w", wl.Name, d, err)
+			}
+			m.Results[Key{d, wl.Name}] = res
+			if progress != nil {
+				progress(fmt.Sprintf("%-8s %-12s runtime=%-12v missratio=%.2f",
+					wl.Name, d.String(), res.Runtime, res.Cache.Outcomes.MissRatio()))
+			}
+		}
+	}
+	return m, nil
+}
+
+// Get returns one cell.
+func (m *Matrix) Get(d dramcache.Design, wl string) *system.Result {
+	return m.Results[Key{d, wl}]
+}
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID         string // experiment id from DESIGN.md (fig9, tab4, ...)
+	Title      string
+	Table      fmt.Stringer
+	Summary    []string // the headline numbers, one per line
+	PaperClaim string   // what the paper reports, for comparison
+}
+
+// CSV renders the report's table as CSV (empty when the table does not
+// support it).
+func (r *Report) CSV() string {
+	if c, ok := r.Table.(interface{ CSV() string }); ok {
+		return c.CSV()
+	}
+	return ""
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Table != nil {
+		b.WriteString(r.Table.String())
+	}
+	for _, s := range r.Summary {
+		fmt.Fprintf(&b, "%s\n", s)
+	}
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	}
+	return b.String()
+}
+
+// AllFromMatrix regenerates every matrix-derived artifact in paper order.
+func AllFromMatrix(m *Matrix) []*Report {
+	return []*Report{
+		Fig1(m), Fig2(m), Fig3(m), Fig9(m), Fig10(m), Fig11(m), Fig12(m),
+		Tab4(m), Fig13(m),
+	}
+}
+
+// geoOver computes the geometric mean of f over the matrix workloads.
+func (m *Matrix) geoOver(f func(wl string) float64) float64 {
+	var vs []float64
+	for _, wl := range m.Scale.Workloads {
+		vs = append(vs, f(wl.Name))
+	}
+	return stats.GeoMean(vs)
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tdram/internal/dramcache"
+	"tdram/internal/workload"
+)
+
+// The quick matrix takes a while to compute; share it across tests.
+var (
+	matrixOnce sync.Once
+	matrix     *Matrix
+	matrixErr  error
+)
+
+func quickMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	matrixOnce.Do(func() {
+		matrix, matrixErr = RunMatrix(Quick(), nil)
+	})
+	if matrixErr != nil {
+		t.Fatal(matrixErr)
+	}
+	return matrix
+}
+
+func TestMatrixComplete(t *testing.T) {
+	m := quickMatrix(t)
+	want := len(Quick().Workloads) * len(MatrixDesigns())
+	if len(m.Results) != want {
+		t.Fatalf("matrix cells = %d, want %d", len(m.Results), want)
+	}
+	for k, r := range m.Results {
+		if r.Runtime <= 0 {
+			t.Errorf("%v/%s: runtime %v", k.Design, k.Workload, r.Runtime)
+		}
+	}
+}
+
+func TestFig1Bands(t *testing.T) {
+	m := quickMatrix(t)
+	for _, wl := range m.Scale.Workloads {
+		mr := m.Get(dramcache.CascadeLake, wl.Name).Cache.Outcomes.MissRatio()
+		if wl.Band == workload.LowMiss && mr >= 0.30 {
+			t.Errorf("%s: miss ratio %.2f outside low band", wl.Name, mr)
+		}
+		if wl.Band == workload.HighMiss && mr <= 0.50 {
+			t.Errorf("%s: miss ratio %.2f outside high band", wl.Name, mr)
+		}
+	}
+	rep := Fig1(m)
+	if !strings.Contains(rep.String(), "band") {
+		t.Error("fig1 report malformed")
+	}
+}
+
+func TestFig9TagCheckOrdering(t *testing.T) {
+	m := quickMatrix(t)
+	// TDRAM must have the fastest tag check of the non-ideal designs on
+	// every workload; geomean ratios must be materially above 1.
+	for _, wl := range m.Scale.Workloads {
+		td := m.Get(dramcache.TDRAM, wl.Name).Cache.TagCheck.Value()
+		for _, d := range []dramcache.Design{dramcache.CascadeLake, dramcache.Alloy, dramcache.BEAR, dramcache.NDC} {
+			v := m.Get(d, wl.Name).Cache.TagCheck.Value()
+			if td > v {
+				t.Errorf("%s: TDRAM tag check %.1fns above %v's %.1fns", wl.Name, td, d, v)
+			}
+		}
+	}
+	rep := Fig9(m)
+	if len(rep.Summary) == 0 {
+		t.Error("fig9 missing summary")
+	}
+}
+
+func TestFig11SpeedupOrdering(t *testing.T) {
+	m := quickMatrix(t)
+	// Headline: TDRAM beats CL/Alloy/BEAR/NDC in geomean; Ideal is an
+	// upper bound (within noise).
+	geo := func(d dramcache.Design) float64 {
+		return m.geoOver(func(wl string) float64 {
+			return float64(m.Get(d, wl).Runtime) / float64(m.Get(dramcache.TDRAM, wl).Runtime)
+		})
+	}
+	for _, d := range []dramcache.Design{dramcache.CascadeLake, dramcache.Alloy, dramcache.BEAR, dramcache.NDC} {
+		if g := geo(d); g <= 1.0 {
+			t.Errorf("TDRAM geomean speedup vs %v = %.3f, want > 1", d, g)
+		}
+	}
+	if g := geo(dramcache.Ideal); g > 1.01 {
+		t.Errorf("Ideal slower than TDRAM by %.3fx", g)
+	}
+}
+
+func TestFig12CrossoverShape(t *testing.T) {
+	m := quickMatrix(t)
+	// The paper's motivation: existing designs can slow systems down
+	// (esp. high-miss workloads) while TDRAM provides a net speedup.
+	geo := func(d dramcache.Design) float64 {
+		return m.geoOver(func(wl string) float64 {
+			return float64(m.Get(dramcache.NoCache, wl).Runtime) / float64(m.Get(d, wl).Runtime)
+		})
+	}
+	td, cl := geo(dramcache.TDRAM), geo(dramcache.CascadeLake)
+	if td <= cl {
+		t.Errorf("TDRAM vs-no-cache geomean %.3f not above CascadeLake %.3f", td, cl)
+	}
+	if td <= 1.0 {
+		t.Errorf("TDRAM does not beat the no-cache system: %.3f", td)
+	}
+	// On low-miss workloads every cache design should win big.
+	for _, wl := range m.Scale.Workloads {
+		if wl.Band != workload.LowMiss {
+			continue
+		}
+		sp := float64(m.Get(dramcache.NoCache, wl.Name).Runtime) /
+			float64(m.Get(dramcache.TDRAM, wl.Name).Runtime)
+		if sp < 1.0 {
+			t.Errorf("%s (low miss): TDRAM speedup vs no-cache %.2f < 1", wl.Name, sp)
+		}
+	}
+}
+
+func TestTab4BloatShape(t *testing.T) {
+	m := quickMatrix(t)
+	band := func(d dramcache.Design, b workload.Band) float64 {
+		var sum float64
+		n := 0
+		for _, wl := range m.Scale.Workloads {
+			if wl.Band != b {
+				continue
+			}
+			sum += m.Get(d, wl.Name).Cache.BloatFactor()
+			n++
+		}
+		return sum / float64(n)
+	}
+	for _, d := range compared {
+		lo, hi := band(d, workload.LowMiss), band(d, workload.HighMiss)
+		if hi <= lo {
+			t.Errorf("%v: high-band bloat %.2f not above low-band %.2f", d, hi, lo)
+		}
+	}
+	// Ordering within the high band.
+	hi := func(d dramcache.Design) float64 { return band(d, workload.HighMiss) }
+	if !(hi(dramcache.Alloy) > hi(dramcache.CascadeLake)) {
+		t.Error("Alloy bloat not above CascadeLake")
+	}
+	if !(hi(dramcache.CascadeLake) > hi(dramcache.TDRAM)) {
+		t.Error("CascadeLake bloat not above TDRAM")
+	}
+	if d := hi(dramcache.NDC) - hi(dramcache.TDRAM); d < -0.3 || d > 0.3 {
+		t.Errorf("NDC bloat %.2f far from TDRAM %.2f", hi(dramcache.NDC), hi(dramcache.TDRAM))
+	}
+}
+
+func TestFig13EnergyShape(t *testing.T) {
+	m := quickMatrix(t)
+	rel := func(d dramcache.Design) float64 {
+		return m.geoOver(func(wl string) float64 {
+			return m.Get(d, wl).Energy.Cache.Total() / m.Get(dramcache.CascadeLake, wl).Energy.Cache.Total()
+		})
+	}
+	td, al, nd := rel(dramcache.TDRAM), rel(dramcache.Alloy), rel(dramcache.NDC)
+	if td >= 1.0 {
+		t.Errorf("TDRAM relative energy %.2f not below Cascade Lake", td)
+	}
+	if al <= 1.0 {
+		t.Errorf("Alloy relative energy %.2f not above Cascade Lake", al)
+	}
+	if diff := nd - td; diff < -0.1 || diff > 0.1 {
+		t.Errorf("NDC energy %.2f not comparable to TDRAM %.2f", nd, td)
+	}
+}
+
+func TestAllReportsRender(t *testing.T) {
+	m := quickMatrix(t)
+	reports := AllFromMatrix(m)
+	if len(reports) != 9 {
+		t.Fatalf("report count = %d, want 9", len(reports))
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		s := r.String()
+		if len(s) < 50 || !strings.Contains(s, r.ID) {
+			t.Errorf("%s: report too thin:\n%s", r.ID, s)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate report id %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}

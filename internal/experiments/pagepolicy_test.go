@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPagePolicyAblation(t *testing.T) {
+	rep, err := AblationPagePolicy(tinyScale(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "row-hit-frac") {
+		t.Errorf("malformed:\n%s", s)
+	}
+}

@@ -1,0 +1,16 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrefetcherStudy(t *testing.T) {
+	rep, err := Prefetcher(tinyScale(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "prefetcher") {
+		t.Error("malformed report")
+	}
+}

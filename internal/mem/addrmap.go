@@ -1,0 +1,69 @@
+package mem
+
+import "fmt"
+
+// AddrMap decodes line addresses into DRAM coordinates using the paper's
+// RoCoRaBaCh interleaving (Table III): reading the field order from the
+// least-significant line-address bits upward — channel, bank, rank,
+// column, row. Single-rank devices are modeled, so the rank field is
+// omitted (width zero).
+type AddrMap struct {
+	Channels int // independent channels on the device
+	Banks    int // logical banks per channel (bank pairs count once, §III-C1)
+	Columns  int // 64 B columns per row
+	Rows     int // rows per bank
+}
+
+// Coord is a fully decoded DRAM location.
+type Coord struct {
+	Channel int
+	Bank    int
+	Column  int
+	Row     int
+}
+
+// Validate checks all dimensions are positive powers of two, which the
+// decode relies on only for addressing density (modulo arithmetic is used,
+// so non-powers also work); it still rejects non-positive sizes.
+func (m AddrMap) Validate() error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{{"channels", m.Channels}, {"banks", m.Banks}, {"columns", m.Columns}, {"rows", m.Rows}} {
+		if d.v <= 0 {
+			return fmt.Errorf("mem: addrmap %s = %d, want > 0", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// Lines reports the total number of 64 B lines the mapped device holds.
+func (m AddrMap) Lines() uint64 {
+	return uint64(m.Channels) * uint64(m.Banks) * uint64(m.Columns) * uint64(m.Rows)
+}
+
+// Bytes reports the mapped capacity in bytes.
+func (m AddrMap) Bytes() uint64 { return m.Lines() * LineSize }
+
+// Decode maps a line address to its coordinates. Line addresses beyond the
+// device capacity wrap (the cache indexes modulo capacity anyway).
+func (m AddrMap) Decode(line uint64) Coord {
+	var c Coord
+	c.Channel = int(line % uint64(m.Channels))
+	line /= uint64(m.Channels)
+	c.Bank = int(line % uint64(m.Banks))
+	line /= uint64(m.Banks)
+	c.Column = int(line % uint64(m.Columns))
+	line /= uint64(m.Columns)
+	c.Row = int(line % uint64(m.Rows))
+	return c
+}
+
+// Encode is the inverse of Decode for in-range coordinates.
+func (m AddrMap) Encode(c Coord) uint64 {
+	line := uint64(c.Row)
+	line = line*uint64(m.Columns) + uint64(c.Column)
+	line = line*uint64(m.Banks) + uint64(c.Bank)
+	line = line*uint64(m.Channels) + uint64(c.Channel)
+	return line
+}

@@ -1,0 +1,135 @@
+// Package overhead reproduces the paper's analytical cost models: the
+// die-area impact of the on-die tag mats (§III-C5) and the interface
+// signal-count overhead of the TDRAM channel changes (§III-B, the table
+// in Fig. 4A). These are closed-form calculations, reproduced exactly.
+package overhead
+
+// AreaModel holds the §III-C5 die-area calculation inputs.
+type AreaModel struct {
+	// TagMatAreaFactor is the relative area added to a bank by the tag
+	// mats when scaling mats by 1/2 in each dimension. The paper takes a
+	// pessimistic 24.3% (Son et al. report 19% for a 4x aspect change).
+	TagMatAreaFactor float64
+	// TaggedBankFraction is the fraction of banks carrying tag mats:
+	// tags live only in the even bank group of each pair, so 0.5.
+	TaggedBankFraction float64
+	// BankAreaFraction is the share of HBM3 die area occupied by banks
+	// (mats, BLSAs, sub-wordline drivers): ~66% per the die photo the
+	// paper cites.
+	BankAreaFraction float64
+	// RoutingOverhead is the extra area for routing hit/miss signals
+	// from even to odd bank groups.
+	RoutingOverhead float64
+}
+
+// PaperAreaModel returns the paper's §III-C5 inputs.
+func PaperAreaModel() AreaModel {
+	return AreaModel{
+		TagMatAreaFactor:   0.243,
+		TaggedBankFraction: 0.5,
+		BankAreaFraction:   0.66,
+		RoutingOverhead:    0.0022,
+	}
+}
+
+// DieAreaImpact reports the total die-area overhead fraction. With the
+// paper's inputs: 0.243 x 0.5 x 0.66 + routing = 8.24%.
+func (m AreaModel) DieAreaImpact() float64 {
+	return m.TagMatAreaFactor*m.TaggedBankFraction*m.BankAreaFraction + m.RoutingOverhead
+}
+
+// SignalModel holds the §III-B interface arithmetic (Fig. 4A).
+type SignalModel struct {
+	Channels int // 32 independent channels after PC conversion
+
+	// Per-channel signal widths.
+	DQBits      int // 32 b data
+	CABitsHBM3  int // HBM3-equivalent CA share per 32 b pseudo-channel
+	CABits      int // TDRAM: 8 b CA per channel (+2 b over the HBM3 share)
+	HMBits      int // TDRAM: 4 b unidirectional hit-miss bus
+	ChannelMisc int // clocks, strobes, ECC etc. per channel
+
+	// Device-global signals (reset, IEEE1500, ...).
+	GlobalMisc int
+
+	// HBM3Signals is the baseline total the paper compares against.
+	HBM3Signals int
+	// SpareBumps is the unused bump count in the HBM3 package footprint.
+	SpareBumps int
+}
+
+// PaperSignalModel returns the paper's counts.
+func PaperSignalModel() SignalModel {
+	return SignalModel{
+		Channels:    32,
+		DQBits:      32,
+		CABitsHBM3:  6, // the paper books +2 b CA per channel over HBM3
+		CABits:      8,
+		HMBits:      4,
+		ChannelMisc: 22,
+		GlobalMisc:  52,
+		HBM3Signals: 1972,
+		SpareBumps:  320,
+	}
+}
+
+// TDRAMSignals reports the total signal count of the TDRAM interface:
+// the paper arrives at 2164.
+func (m SignalModel) TDRAMSignals() int {
+	perChannel := m.DQBits + m.CABits + m.HMBits + m.ChannelMisc
+	return m.Channels*perChannel + m.GlobalMisc
+}
+
+// ExtraSignals reports the added signals vs HBM3 (the paper: 192, from
+// +2 b CA and +4 b HM per 32-bit channel).
+func (m SignalModel) ExtraSignals() int {
+	return m.Channels * (m.CABits - m.CABitsHBM3 + m.HMBits)
+}
+
+// SignalOverhead reports the fractional pin increase over HBM3 (the
+// paper: a 9.7% increase).
+func (m SignalModel) SignalOverhead() float64 {
+	return float64(m.TDRAMSignals()-m.HBM3Signals) / float64(m.HBM3Signals)
+}
+
+// FitsInPackage reports whether the extra signals fit the spare bump
+// sites of the HBM3 package footprint (the paper: 192 <= 320).
+func (m SignalModel) FitsInPackage() bool {
+	return m.ExtraSignals() <= m.SpareBumps
+}
+
+// TagStorageModel computes tag/metadata sizing (§II-A, §III-C5).
+type TagStorageModel struct {
+	CacheBytes        uint64
+	LineBytes         uint64
+	TagMetadataBytes  uint64 // 3 B per line: tag + valid + dirty + ECC
+	AddressSpaceBytes uint64 // the address space the tag width must cover
+}
+
+// PaperTagStorage returns the paper's 64 GiB / 1 PB configuration.
+func PaperTagStorage() TagStorageModel {
+	return TagStorageModel{
+		CacheBytes:        64 << 30,
+		LineBytes:         64,
+		TagMetadataBytes:  3,
+		AddressSpaceBytes: 1 << 50,
+	}
+}
+
+// TagBits reports the tag width needed for a direct-mapped cache over
+// the address space (the paper: 14 bits for 1 PB over 64 GiB).
+func (m TagStorageModel) TagBits() int {
+	ratio := m.AddressSpaceBytes / m.CacheBytes
+	bits := 0
+	for r := ratio; r > 1; r >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// StorageBytes reports the total tag+metadata storage (the paper: 3 GiB
+// for a 64 GiB cache — far beyond any SRAM budget, the scaling argument
+// of §II-A).
+func (m TagStorageModel) StorageBytes() uint64 {
+	return m.CacheBytes / m.LineBytes * m.TagMetadataBytes
+}

@@ -1,0 +1,58 @@
+package overhead
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDieAreaMatchesPaper(t *testing.T) {
+	// §III-C5: 24.3% x 0.5 (even banks only) x 0.66 (bank area) = 8.02%,
+	// plus routing = 8.24%.
+	m := PaperAreaModel()
+	base := m.TagMatAreaFactor * m.TaggedBankFraction * m.BankAreaFraction
+	if math.Abs(base-0.0802) > 0.0002 {
+		t.Errorf("bank-area overhead = %.4f, want 0.0802", base)
+	}
+	if got := m.DieAreaImpact(); math.Abs(got-0.0824) > 0.0005 {
+		t.Errorf("die area impact = %.4f, want 0.0824 (8.24%%)", got)
+	}
+}
+
+func TestSignalCountsMatchPaper(t *testing.T) {
+	m := PaperSignalModel()
+	if got := m.TDRAMSignals(); got != 2164 {
+		t.Errorf("TDRAM signals = %d, want 2164", got)
+	}
+	if got := m.ExtraSignals(); got != 192 {
+		t.Errorf("extra signals = %d, want 192", got)
+	}
+	if got := m.SignalOverhead(); math.Abs(got-0.097) > 0.001 {
+		t.Errorf("signal overhead = %.3f, want 0.097 (9.7%%)", got)
+	}
+	if !m.FitsInPackage() {
+		t.Error("192 extra signals must fit the 320 spare bumps")
+	}
+}
+
+func TestTagStorageMatchesPaper(t *testing.T) {
+	m := PaperTagStorage()
+	// §III-C5: a 64 GiB direct-mapped cache over 1 PB needs a 14-bit tag.
+	if got := m.TagBits(); got != 14 {
+		t.Errorf("tag bits = %d, want 14", got)
+	}
+	// §II-A: 3 B per 64 B line of a 64 GiB cache = 3 GiB of tag store.
+	if got := m.StorageBytes(); got != 3<<30 {
+		t.Errorf("tag storage = %d, want 3 GiB", got)
+	}
+}
+
+func TestTagBitsSmallCaches(t *testing.T) {
+	m := TagStorageModel{CacheBytes: 1 << 20, LineBytes: 64, TagMetadataBytes: 3, AddressSpaceBytes: 1 << 30}
+	if got := m.TagBits(); got != 10 {
+		t.Errorf("tag bits = %d, want 10", got)
+	}
+	same := TagStorageModel{CacheBytes: 1 << 20, AddressSpaceBytes: 1 << 20, LineBytes: 64, TagMetadataBytes: 3}
+	if got := same.TagBits(); got != 0 {
+		t.Errorf("tag bits for cache == space = %d, want 0", got)
+	}
+}

@@ -1,0 +1,76 @@
+// Package predict implements a MAP-I-style DRAM-cache hit/miss predictor
+// (Qureshi & Loh, "Fundamental Latency Trade-off in Architecting DRAM
+// Caches", MICRO'12), used for the paper's §V-D study. MAP-I indexes a
+// table of saturating counters by instruction address; the synthetic
+// workloads here carry no PCs, so the table is indexed by a hash of the
+// originating core and the address region, which captures the same
+// per-access-stream bias the instruction address proxies for.
+package predict
+
+// MAPI is the predictor: a table of 2-bit saturating counters.
+// Counter >= 2 predicts hit.
+type MAPI struct {
+	counters []uint8
+	mask     uint64
+
+	predictions      uint64
+	updates, correct uint64
+}
+
+// NewMAPI builds a predictor with the given table size (rounded up to a
+// power of two; MAP-I uses 256 entries).
+func NewMAPI(size int) *MAPI {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	c := make([]uint8, n)
+	for i := range c {
+		c[i] = 2 // weakly predict hit, as MAP-I initializes
+	}
+	return &MAPI{counters: c, mask: uint64(n - 1)}
+}
+
+// index hashes (core, region) into the table. Regions are 16 KiB so the
+// counter tracks the stream touching that neighbourhood.
+func (p *MAPI) index(core int, line uint64) uint64 {
+	region := line >> 8
+	h := region*0x9E3779B97F4A7C15 + uint64(core)*0x517CC1B727220A95
+	h ^= h >> 29
+	return h & p.mask
+}
+
+// Predict returns true when a DRAM-cache hit is predicted.
+func (p *MAPI) Predict(core int, line uint64) bool {
+	p.predictions++
+	return p.counters[p.index(core, line)] >= 2
+}
+
+// Update trains the predictor with the actual outcome, scoring what the
+// table would have predicted for this access.
+func (p *MAPI) Update(core int, line uint64, hit bool) {
+	i := p.index(core, line)
+	p.updates++
+	if (p.counters[i] >= 2) == hit {
+		p.correct++
+	}
+	if hit {
+		if p.counters[i] < 3 {
+			p.counters[i]++
+		}
+	} else if p.counters[i] > 0 {
+		p.counters[i]--
+	}
+}
+
+// Accuracy reports the fraction of trained accesses the table state
+// predicted correctly.
+func (p *MAPI) Accuracy() float64 {
+	if p.updates == 0 {
+		return 0
+	}
+	return float64(p.correct) / float64(p.updates)
+}
+
+// Predictions reports how many predictions were made.
+func (p *MAPI) Predictions() uint64 { return p.predictions }

@@ -1,0 +1,165 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// timing model in this repository: a picosecond tick clock, an event queue
+// with deterministic ordering, and interval-reservation timelines used to
+// model shared buses.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is a point in simulated time, measured in picoseconds. Picosecond
+// resolution lets the fractional-nanosecond timing parameters from the
+// paper's Table III (e.g. tHM_int = 2.5 ns, tRCD_TAG = 7.5 ns) be
+// represented exactly as integers.
+type Tick int64
+
+// Common durations expressed in ticks.
+const (
+	Picosecond  Tick = 1
+	Nanosecond  Tick = 1000
+	Microsecond Tick = 1000 * Nanosecond
+	Millisecond Tick = 1000 * Microsecond
+)
+
+// NS converts a floating-point nanosecond quantity to ticks, rounding to
+// the nearest picosecond.
+func NS(ns float64) Tick {
+	if ns < 0 {
+		panic(fmt.Sprintf("sim: negative duration %gns", ns))
+	}
+	return Tick(ns*float64(Nanosecond) + 0.5)
+}
+
+// Nanoseconds reports t as a float64 nanosecond count.
+func (t Tick) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+func (t Tick) String() string { return fmt.Sprintf("%.3fns", t.Nanoseconds()) }
+
+// event is a scheduled callback.
+type event struct {
+	when   Tick
+	seq    uint64 // insertion order; breaks ties deterministically
+	daemon bool   // does not keep the simulation alive on its own
+	fn     func()
+}
+
+// eventHeap implements heap.Interface ordered by (when, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (Tick, bool) { // earliest event time
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].when, true
+}
+
+// Simulator owns the clock and the event queue. The zero value is ready to
+// use. Simulator is not safe for concurrent use; all models run on the
+// simulation goroutine, in event order.
+type Simulator struct {
+	now       Tick
+	seq       uint64
+	events    eventHeap
+	fired     uint64
+	nonDaemon int // queued events that keep the simulation alive
+}
+
+// New returns a Simulator with time zero and an empty queue.
+func New() *Simulator { return &Simulator{} }
+
+// Now reports the current simulated time.
+func (s *Simulator) Now() Tick { return s.now }
+
+// Fired reports the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports the number of events still queued.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule runs fn after delay ticks. A zero delay runs fn after all
+// previously scheduled events at the current tick. Negative delays panic:
+// models that compute a start time in the past have a timing bug.
+func (s *Simulator) Schedule(delay Tick, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: schedule %v in the past at %v", delay, s.now))
+	}
+	s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time when (>= Now).
+func (s *Simulator) ScheduleAt(when Tick, fn func()) {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", when, s.now))
+	}
+	s.seq++
+	s.nonDaemon++
+	heap.Push(&s.events, event{when: when, seq: s.seq, fn: fn})
+}
+
+// ScheduleDaemon runs fn after delay like Schedule, but the event does
+// not keep the simulation alive: Run and RunUntil stop once only daemon
+// events remain. Perpetual self-rescheduling activities — DRAM refresh —
+// use this so a simulation "drains" when real work finishes.
+func (s *Simulator) ScheduleDaemon(delay Tick, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: schedule %v in the past at %v", delay, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{when: s.now + delay, seq: s.seq, daemon: true, fn: fn})
+}
+
+// Step executes the next event, advancing the clock to its timestamp. It
+// reports false when the queue is empty.
+func (s *Simulator) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	if !e.daemon {
+		s.nonDaemon--
+	}
+	s.now = e.when
+	s.fired++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or until an event would fire
+// after limit; it returns the time of the last executed event. A limit of
+// zero means no limit.
+func (s *Simulator) Run(limit Tick) Tick {
+	for {
+		when, ok := s.events.peek()
+		if !ok || (limit == 0 && s.nonDaemon == 0) {
+			return s.now
+		}
+		if limit > 0 && when > limit {
+			s.now = limit
+			return s.now
+		}
+		s.Step()
+	}
+}
+
+// RunUntil executes events while cond() remains false, returning true if
+// cond became true and false if the event queue drained first.
+func (s *Simulator) RunUntil(cond func() bool) bool {
+	for !cond() {
+		if s.nonDaemon == 0 || !s.Step() {
+			return false
+		}
+	}
+	return true
+}

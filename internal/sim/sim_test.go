@@ -1,0 +1,350 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTickNS(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Tick
+	}{
+		{0, 0}, {1, 1000}, {2.5, 2500}, {7.5, 7500}, {0.5, 500}, {0.75, 750},
+	}
+	for _, c := range cases {
+		if got := NS(c.ns); got != c.want {
+			t.Errorf("NS(%g) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestTickString(t *testing.T) {
+	if s := NS(2.5).String(); s != "2.500ns" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestNSNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NS(-1) did not panic")
+		}
+	}()
+	NS(-1)
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.Schedule(30, func() { got = append(got, 3) })
+	s.Schedule(10, func() { got = append(got, 1) })
+	s.Schedule(20, func() { got = append(got, 2) })
+	s.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order = %v", got)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now = %v, want 30", s.Now())
+	}
+}
+
+func TestScheduleTieBreakFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { got = append(got, i) })
+	}
+	s.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-tick events reordered: %v", got)
+		}
+	}
+}
+
+func TestScheduleFromEvent(t *testing.T) {
+	s := New()
+	var fired []Tick
+	s.Schedule(10, func() {
+		fired = append(fired, s.Now())
+		s.Schedule(5, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run(0)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(10, func() {})
+	s.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	s.ScheduleAt(5, func() {})
+}
+
+func TestRunLimit(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(Tick(i)*100, func() { count++ })
+	}
+	s.Run(500)
+	if count != 5 {
+		t.Errorf("events fired by 500 = %d, want 5", count)
+	}
+	if s.Now() != 500 {
+		t.Errorf("Now = %v, want 500", s.Now())
+	}
+	s.Run(0)
+	if count != 10 {
+		t.Errorf("total fired = %d, want 10", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 1; i <= 5; i++ {
+		s.Schedule(Tick(i), func() { n++ })
+	}
+	if !s.RunUntil(func() bool { return n >= 3 }) {
+		t.Fatal("RunUntil returned false before condition met")
+	}
+	if n != 3 {
+		t.Errorf("n = %d, want 3", n)
+	}
+	if s.RunUntil(func() bool { return n >= 100 }) {
+		t.Error("RunUntil reported success after queue drained")
+	}
+}
+
+func TestDaemonDoesNotKeepRunAlive(t *testing.T) {
+	s := New()
+	ticks := 0
+	var daemon func()
+	daemon = func() {
+		ticks++
+		s.ScheduleDaemon(10, daemon) // perpetual, like refresh
+	}
+	s.ScheduleDaemon(10, daemon)
+	fired := false
+	s.Schedule(35, func() { fired = true })
+	s.Run(0)
+	if !fired {
+		t.Fatal("regular event did not fire")
+	}
+	// Daemons at 10, 20, 30 run before the regular event at 35; the
+	// daemon at 40 must not.
+	if ticks != 3 {
+		t.Errorf("daemon ticks = %d, want 3", ticks)
+	}
+}
+
+func TestDaemonDoesNotKeepRunUntilAlive(t *testing.T) {
+	s := New()
+	var daemon func()
+	daemon = func() { s.ScheduleDaemon(10, daemon) }
+	s.ScheduleDaemon(10, daemon)
+	if s.RunUntil(func() bool { return false }) {
+		t.Fatal("RunUntil returned true")
+	}
+}
+
+func TestDaemonHonoredWithLimit(t *testing.T) {
+	s := New()
+	ticks := 0
+	var daemon func()
+	daemon = func() { ticks++; s.ScheduleDaemon(10, daemon) }
+	s.ScheduleDaemon(10, daemon)
+	s.Run(45)
+	if ticks != 4 {
+		t.Errorf("daemon ticks under explicit limit = %d, want 4", ticks)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestFiredPending(t *testing.T) {
+	s := New()
+	s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.Step()
+	if s.Fired() != 1 || s.Pending() != 1 {
+		t.Errorf("Fired=%d Pending=%d", s.Fired(), s.Pending())
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var fired []Tick
+		for _, d := range delays {
+			s.Schedule(Tick(d), func() { fired = append(fired, s.Now()) })
+		}
+		s.Run(0)
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimelineBasic(t *testing.T) {
+	tl := NewTimeline("dq")
+	if got := tl.FirstFree(100, 10); got != 100 {
+		t.Errorf("FirstFree on empty = %v", got)
+	}
+	tl.Reserve(100, 10)
+	if tl.FreeAt(105, 2) {
+		t.Error("overlap reported free")
+	}
+	if !tl.FreeAt(110, 5) {
+		t.Error("adjacent after reported busy")
+	}
+	if !tl.FreeAt(90, 10) {
+		t.Error("adjacent before reported busy")
+	}
+	if got := tl.FirstFree(100, 5); got != 110 {
+		t.Errorf("FirstFree during busy = %v, want 110", got)
+	}
+}
+
+func TestTimelineGapFit(t *testing.T) {
+	tl := NewTimeline("ca")
+	tl.Reserve(0, 10)
+	tl.Reserve(30, 10)
+	if got := tl.FirstFree(0, 20); got != 10 {
+		t.Errorf("gap fit = %v, want 10", got)
+	}
+	if got := tl.FirstFree(0, 21); got != 40 {
+		t.Errorf("too-large gap = %v, want 40", got)
+	}
+}
+
+func TestTimelineOutOfOrderReserve(t *testing.T) {
+	tl := NewTimeline("dq")
+	tl.Reserve(100, 10)
+	tl.Reserve(50, 10) // earlier than existing: the write-offset case
+	if got := tl.FirstFree(0, 100); got != 110 {
+		t.Errorf("FirstFree(0,100) = %v, want 110", got)
+	}
+	if got := tl.FirstFree(60, 40); got != 60 {
+		t.Errorf("FirstFree in gap = %v, want 60", got)
+	}
+}
+
+func TestTimelineOverlapPanics(t *testing.T) {
+	tl := NewTimeline("dq")
+	tl.Reserve(0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping Reserve did not panic")
+		}
+	}()
+	tl.Reserve(5, 10)
+}
+
+func TestTimelineRelease(t *testing.T) {
+	tl := NewTimeline("dq")
+	for i := 0; i < 100; i++ {
+		tl.Reserve(Tick(i*20), 10)
+	}
+	tl.Release(1000)
+	if tl.Intervals() >= 100 {
+		t.Errorf("Release did not prune: %d intervals", tl.Intervals())
+	}
+	// Reservations after the prune point are preserved.
+	if tl.FreeAt(1980, 10) {
+		t.Error("reservation after prune point lost")
+	}
+}
+
+func TestTimelineMerge(t *testing.T) {
+	tl := NewTimeline("dq")
+	tl.Reserve(0, 10)
+	tl.Reserve(10, 10)
+	tl.Reserve(20, 10)
+	if tl.Intervals() != 1 {
+		t.Errorf("abutting intervals not merged: %d", tl.Intervals())
+	}
+	if tl.BusyUntil() != 30 {
+		t.Errorf("BusyUntil = %v", tl.BusyUntil())
+	}
+}
+
+// Property: a randomized sequence of first-fit reservations never
+// overlaps, and FirstFree always returns a slot at or after the earliest
+// requested time.
+func TestTimelineNoOverlapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := NewTimeline("p")
+		type iv struct{ s, e Tick }
+		var placed []iv
+		for i := 0; i < 100; i++ {
+			earliest := Tick(rng.Intn(500))
+			dur := Tick(1 + rng.Intn(20))
+			at := tl.FirstFree(earliest, dur)
+			if at < earliest {
+				return false
+			}
+			tl.Reserve(at, dur)
+			placed = append(placed, iv{at, at + dur})
+		}
+		sort.Slice(placed, func(i, j int) bool { return placed[i].s < placed[j].s })
+		for i := 1; i < len(placed); i++ {
+			if placed[i].s < placed[i-1].e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(Tick(i%64), func() {})
+		if s.Pending() > 1024 {
+			for s.Pending() > 0 {
+				s.Step()
+			}
+		}
+	}
+	s.Run(0)
+}
+
+func BenchmarkTimelineReserve(b *testing.B) {
+	tl := NewTimeline("bench")
+	var now Tick
+	for i := 0; i < b.N; i++ {
+		at := tl.FirstFree(now, 4)
+		tl.Reserve(at, 4)
+		now = at
+		if i%64 == 0 {
+			tl.Release(now)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import "fmt"
+
+// Timeline models a shared serial resource (a CA bus, a DQ bus, the HM
+// bus) on which occupancy intervals are reserved. Reservations may be made
+// out of arrival order — a write's DQ interval starts at a different fixed
+// offset from its command than a read's — so a single next-free cursor is
+// not enough; Timeline keeps the set of busy intervals and answers
+// first-fit queries.
+//
+// Intervals are half-open: [start, start+dur).
+type Timeline struct {
+	name  string
+	busy  []interval // sorted by start, non-overlapping
+	prune Tick       // intervals ending before this may be discarded
+}
+
+type interval struct {
+	start, end Tick
+}
+
+// NewTimeline returns an empty timeline. The name is used in panic
+// messages only.
+func NewTimeline(name string) *Timeline { return &Timeline{name: name} }
+
+// FirstFree returns the earliest start >= earliest at which a reservation
+// of length dur fits.
+func (t *Timeline) FirstFree(earliest Tick, dur Tick) Tick {
+	if dur <= 0 {
+		return earliest
+	}
+	start := earliest
+	for _, iv := range t.busy {
+		if iv.end <= start {
+			continue
+		}
+		if iv.start >= start+dur {
+			break // gap before iv fits
+		}
+		start = iv.end
+	}
+	return start
+}
+
+// FreeAt reports whether [start, start+dur) is unreserved.
+func (t *Timeline) FreeAt(start, dur Tick) bool {
+	return t.FirstFree(start, dur) == start
+}
+
+// Reserve marks [start, start+dur) busy. It panics if the interval
+// overlaps an existing reservation: callers must query FirstFree/FreeAt
+// first, and a violation means a protocol model double-booked a bus.
+func (t *Timeline) Reserve(start, dur Tick) {
+	if dur <= 0 {
+		return
+	}
+	if !t.FreeAt(start, dur) {
+		panic(fmt.Sprintf("sim: timeline %q: overlapping reservation at %v+%v", t.name, start, dur))
+	}
+	end := start + dur
+	// Insert keeping order; merge with abutting neighbours to bound growth.
+	i := 0
+	for i < len(t.busy) && t.busy[i].start < start {
+		i++
+	}
+	t.busy = append(t.busy, interval{})
+	copy(t.busy[i+1:], t.busy[i:])
+	t.busy[i] = interval{start, end}
+	// merge backward
+	if i > 0 && t.busy[i-1].end == start {
+		t.busy[i-1].end = end
+		t.busy = append(t.busy[:i], t.busy[i+1:]...)
+		i--
+	}
+	// merge forward
+	if i+1 < len(t.busy) && t.busy[i].end == t.busy[i+1].start {
+		t.busy[i].end = t.busy[i+1].end
+		t.busy = append(t.busy[:i+1], t.busy[i+2:]...)
+	}
+}
+
+// Release discards bookkeeping for intervals that end at or before now.
+// Models call this periodically (e.g. on each scheduling pass) so the
+// busy list stays short.
+func (t *Timeline) Release(now Tick) {
+	if now <= t.prune {
+		return
+	}
+	t.prune = now
+	i := 0
+	for i < len(t.busy) && t.busy[i].end <= now {
+		i++
+	}
+	if i > 0 {
+		t.busy = t.busy[i:]
+	}
+}
+
+// BusyUntil reports the end of the latest reservation, or 0 when empty.
+func (t *Timeline) BusyUntil() Tick {
+	if len(t.busy) == 0 {
+		return t.prune
+	}
+	return t.busy[len(t.busy)-1].end
+}
+
+// Intervals reports the number of tracked busy intervals (for tests).
+func (t *Timeline) Intervals() int { return len(t.busy) }

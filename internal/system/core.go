@@ -1,0 +1,137 @@
+package system
+
+import (
+	"tdram/internal/cache"
+	"tdram/internal/mem"
+	"tdram/internal/sim"
+	"tdram/internal/workload"
+)
+
+// core is one request-generating CPU: an in-order front end with
+// non-blocking misses up to MaxOutstanding, the paper's stand-in for an
+// out-of-order core's memory-level parallelism. Each access pays a think
+// time (modeling the non-memory instructions between memory operations)
+// plus the on-chip cache latency; L2 misses become DRAM-cache read
+// demands and dirty L2 victims become write demands.
+type core struct {
+	sys    *System
+	id     int
+	stream *workload.Stream
+	hier   *cache.Hierarchy
+	think  sim.Tick
+
+	target      int
+	executed    int
+	outstanding int
+	misses      uint64
+
+	// Backpressure bookkeeping.
+	pendingWBs  []*mem.Request // writebacks rejected by the controller
+	pendingRead *mem.Request   // demand read rejected by the controller
+	waitRetry   bool
+	wakeQueued  bool
+	blocked     bool // at MaxOutstanding, waiting for a completion
+	tickQueued  bool
+	prewarming  bool // writebacks go to Prewarm instead of the controller
+
+	reqID uint64
+}
+
+// beginPhase arms the core for n more accesses.
+func (c *core) beginPhase(n int) {
+	c.target = n
+	c.executed = 0
+}
+
+// idle reports whether the core finished its phase with no loose ends.
+func (c *core) idle() bool {
+	return c.executed >= c.target && c.outstanding == 0 &&
+		len(c.pendingWBs) == 0 && c.pendingRead == nil
+}
+
+// emitWriteback receives dirty L2 victims from the hierarchy.
+func (c *core) emitWriteback(line uint64) {
+	if c.prewarming {
+		c.sys.ctl.Prewarm(line, true)
+		return
+	}
+	c.reqID++
+	req := &mem.Request{ID: c.reqID, Addr: line * mem.LineSize, Kind: mem.Write, Core: c.id}
+	if len(c.pendingWBs) > 0 || !c.sys.ctl.Enqueue(req) {
+		c.pendingWBs = append(c.pendingWBs, req)
+		c.waitRetry = true
+	}
+}
+
+// scheduleTick arms the next access after delay.
+func (c *core) scheduleTick(delay sim.Tick) {
+	if c.tickQueued {
+		return
+	}
+	c.tickQueued = true
+	c.sys.sim.Schedule(delay, func() {
+		c.tickQueued = false
+		c.tick()
+	})
+}
+
+// tick executes one access (or clears backpressure) and schedules the
+// next.
+func (c *core) tick() {
+	// Drain rejected work first, in order.
+	for len(c.pendingWBs) > 0 {
+		if !c.sys.ctl.Enqueue(c.pendingWBs[0]) {
+			c.waitRetry = true
+			return
+		}
+		c.pendingWBs = c.pendingWBs[1:]
+	}
+	if c.pendingRead != nil {
+		if !c.sys.ctl.Enqueue(c.pendingRead) {
+			c.waitRetry = true
+			return
+		}
+		c.outstanding++
+		c.pendingRead = nil
+		c.scheduleTick(c.think)
+		return
+	}
+	if c.executed >= c.target {
+		return
+	}
+	if c.outstanding >= c.sys.cfg.MaxOutstanding {
+		c.blocked = true
+		return
+	}
+
+	line, store, thinkNS := c.stream.Next()
+	res := c.hier.Access(line, store)
+	c.executed++
+	delay := sim.NS(thinkNS) + res.Latency
+
+	if res.Missed {
+		c.misses++
+		c.reqID++
+		req := &mem.Request{
+			ID: c.reqID, Addr: res.MissLine * mem.LineSize, Kind: mem.Read, Core: c.id,
+			OnDone: func(*mem.Request) { c.completeMiss() },
+		}
+		if c.sys.ctl.Enqueue(req) {
+			c.outstanding++
+		} else {
+			c.pendingRead = req
+			c.waitRetry = true
+			return
+		}
+	}
+	c.scheduleTick(delay)
+}
+
+// completeMiss handles a returning DRAM-cache read.
+func (c *core) completeMiss() {
+	c.outstanding--
+	if c.blocked {
+		c.blocked = false
+		c.scheduleTick(0)
+	}
+}

@@ -1,0 +1,160 @@
+package system
+
+import (
+	"testing"
+
+	"tdram/internal/dramcache"
+	"tdram/internal/workload"
+)
+
+// smallConfig keeps unit-test runs fast: a 16 MiB cache and short phases.
+func smallConfig(t *testing.T, d dramcache.Design, wl string) Config {
+	t.Helper()
+	spec, err := workload.ByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(d, spec, 16<<20)
+	cfg.WarmupPerCore = 1500
+	cfg.RequestsPerCore = 2500
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	cfg := smallConfig(t, dramcache.TDRAM, "bt.C")
+	cfg.Cores = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero cores accepted")
+	}
+	cfg = smallConfig(t, dramcache.TDRAM, "bt.C")
+	cfg.RequestsPerCore = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero requests accepted")
+	}
+}
+
+func TestRunCompletesEveryDesign(t *testing.T) {
+	for _, d := range append(dramcache.Designs(), dramcache.NoCache) {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(smallConfig(t, d, "is.C"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Runtime <= 0 {
+				t.Fatal("non-positive runtime")
+			}
+			if res.Accesses != 8*2500 {
+				t.Errorf("accesses = %d", res.Accesses)
+			}
+			if d != dramcache.NoCache {
+				if res.Cache.DemandReads == 0 {
+					t.Error("no demand reads reached the DRAM cache")
+				}
+				if res.Cache.DemandWrites == 0 {
+					t.Error("no writebacks reached the DRAM cache (is.C writes heavily)")
+				}
+			}
+			if res.Throughput() <= 0 {
+				t.Error("zero throughput")
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(smallConfig(t, dramcache.TDRAM, "ft.C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(t, dramcache.TDRAM, "ft.C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runtime != b.Runtime {
+		t.Errorf("runtimes differ: %v vs %v", a.Runtime, b.Runtime)
+	}
+	if a.Cache.Outcomes != b.Cache.Outcomes {
+		t.Errorf("outcome counts differ")
+	}
+	if a.Cache.Traffic != b.Cache.Traffic {
+		t.Errorf("traffic differs")
+	}
+}
+
+func TestMissBandsRealized(t *testing.T) {
+	// The workload calibration contract: low-band workloads measure
+	// < 30 % DRAM-cache miss ratio, high-band > 50 % (Fig. 1). Checked on
+	// a representative subset here; the experiments package covers all.
+	for _, name := range []string{"bt.C", "lu.C", "ft.C", "is.D", "bfs.22", "pr.25"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := smallConfig(t, dramcache.CascadeLake, name)
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mr := res.Cache.Outcomes.MissRatio()
+			spec, _ := workload.ByName(name)
+			if spec.Band == workload.LowMiss && mr >= 0.30 {
+				t.Errorf("%s: miss ratio %.2f outside low band", name, mr)
+			}
+			if spec.Band == workload.HighMiss && mr <= 0.50 {
+				t.Errorf("%s: miss ratio %.2f outside high band", name, mr)
+			}
+		})
+	}
+}
+
+func TestEnergyPopulated(t *testing.T) {
+	res, err := Run(smallConfig(t, dramcache.TDRAM, "ft.C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy.Cache.Total() <= 0 || res.Energy.Main.Total() <= 0 {
+		t.Errorf("energy not populated: %+v", res.Energy)
+	}
+	if res.Energy.Cache.IO <= 0 {
+		t.Error("no IO energy despite traffic")
+	}
+	if res.Energy.Cache.Tag <= 0 {
+		t.Error("TDRAM recorded no tag-mat energy")
+	}
+}
+
+func TestTDRAMFasterThanCascadeLakeHighMiss(t *testing.T) {
+	// The paper's headline: on high-miss workloads TDRAM outperforms
+	// Cascade Lake (Fig. 11) with a much faster tag check (Fig. 9).
+	td, err := Run(smallConfig(t, dramcache.TDRAM, "pr.25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Run(smallConfig(t, dramcache.CascadeLake, "pr.25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Runtime >= cl.Runtime {
+		t.Errorf("TDRAM runtime %v not below CascadeLake %v", td.Runtime, cl.Runtime)
+	}
+	if td.Cache.TagCheck.Value() >= cl.Cache.TagCheck.Value() {
+		t.Errorf("TDRAM tag check %.1fns not below CascadeLake %.1fns",
+			td.Cache.TagCheck.Value(), cl.Cache.TagCheck.Value())
+	}
+}
+
+func TestIdealUpperBound(t *testing.T) {
+	id, err := Run(smallConfig(t, dramcache.Ideal, "ft.C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := Run(smallConfig(t, dramcache.TDRAM, "ft.C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal must not be slower than TDRAM beyond noise (2 %).
+	if float64(id.Runtime) > float64(td.Runtime)*1.02 {
+		t.Errorf("Ideal runtime %v above TDRAM %v", id.Runtime, td.Runtime)
+	}
+}

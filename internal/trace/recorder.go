@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"io"
+
+	"tdram/internal/dramcache"
+	"tdram/internal/mem"
+)
+
+// Recorder hooks a controller and streams every accepted demand into a
+// Writer. Attach it before the measured phase; call Close when done.
+type Recorder struct {
+	w   *Writer
+	err error
+}
+
+// NewRecorder attaches to ctl, writing the binary format to w.
+func NewRecorder(ctl *dramcache.Controller, w io.Writer) *Recorder {
+	r := &Recorder{w: NewWriter(w)}
+	ctl.OnAccept = func(req *mem.Request) {
+		if r.err != nil {
+			return
+		}
+		r.err = r.w.Append(Event{
+			Tick: req.Arrive,
+			Core: uint8(req.Core),
+			Kind: req.Kind,
+			Line: req.Line(),
+		})
+	}
+	return r
+}
+
+// Events reports how many demands were recorded.
+func (r *Recorder) Events() uint64 { return r.w.Events() }
+
+// Close flushes the stream and reports the first error, if any.
+func (r *Recorder) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}

@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"testing"
+
+	"tdram/internal/mem"
+)
+
+func TestRoster(t *testing.T) {
+	all := All()
+	if len(all) != 28 {
+		t.Fatalf("roster size = %d, want 28 (9 NPB x2 classes + 5 GAPBS x2 inputs)", len(all))
+	}
+	seen := map[string]bool{}
+	low, high := 0, 0
+	for _, s := range all {
+		if seen[s.Name] {
+			t.Errorf("duplicate workload %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Suite != "npb" && s.Suite != "gapbs" {
+			t.Errorf("%s: unknown suite %q", s.Name, s.Suite)
+		}
+		if s.Band == LowMiss {
+			low++
+		} else {
+			high++
+		}
+		if s.FootprintRatio <= 0 || s.WriteFrac < 0 || s.WriteFrac > 1 {
+			t.Errorf("%s: implausible parameters %+v", s.Name, s)
+		}
+		// Low band needs footprints comfortably under capacity; high band
+		// comfortably over (Fig. 1 has nothing in the middle).
+		if s.Band == LowMiss && s.FootprintRatio > 1 {
+			t.Errorf("%s: low band with footprint ratio %v", s.Name, s.FootprintRatio)
+		}
+		if s.Band == HighMiss && s.FootprintRatio < 2 {
+			t.Errorf("%s: high band with footprint ratio %v", s.Name, s.FootprintRatio)
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Errorf("bands unbalanced: %d low, %d high", low, high)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("ft.D")
+	if err != nil || s.Name != "ft.D" {
+		t.Fatalf("ByName: %v %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if len(Names()) != 28 {
+		t.Error("Names length")
+	}
+}
+
+func TestRepresentativeSubset(t *testing.T) {
+	rep := Representative()
+	if len(rep) < 4 {
+		t.Fatalf("representative subset too small: %d", len(rep))
+	}
+	low, high := 0, 0
+	for _, s := range rep {
+		if s.Band == LowMiss {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Error("representative subset not band-balanced")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	s, _ := ByName("is.C")
+	a := s.NewStream(0, 8, 64<<20, 42)
+	b := s.NewStream(0, 8, 64<<20, 42)
+	for i := 0; i < 1000; i++ {
+		la, wa, ta := a.Next()
+		lb, wb, tb := b.Next()
+		if la != lb || wa != wb || ta != tb {
+			t.Fatalf("streams diverge at access %d", i)
+		}
+	}
+	c := s.NewStream(0, 8, 64<<20, 43)
+	same := true
+	for i := 0; i < 100; i++ {
+		la, _, _ := a.Next()
+		lc, _, _ := c.Next()
+		if la != lc {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestStreamStaysInRegion(t *testing.T) {
+	for _, s := range All() {
+		for core := 0; core < 3; core++ {
+			st := s.NewStream(core, 8, 64<<20, 7)
+			lo := st.Lines() * uint64(core)
+			hi := lo + st.Lines()
+			for i := 0; i < 2000; i++ {
+				line, _, _ := st.Next()
+				if line < lo || line >= hi {
+					t.Fatalf("%s core %d: line %d outside [%d, %d)", s.Name, core, line, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamWriteFraction(t *testing.T) {
+	s, _ := ByName("is.D") // WriteFrac 0.50
+	st := s.NewStream(0, 8, 64<<20, 1)
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if _, w, _ := st.Next(); w {
+			writes++
+		}
+	}
+	got := float64(writes) / n
+	if got < 0.45 || got > 0.55 {
+		t.Errorf("write fraction = %v, want ~0.50", got)
+	}
+}
+
+func TestStreamFootprintScales(t *testing.T) {
+	s, _ := ByName("pr.25") // ratio 8.0
+	st := s.NewStream(0, 8, 64<<20, 1)
+	wantLines := uint64(8.0*64<<20) / mem.LineSize / 8
+	if st.Lines() != wantLines {
+		t.Errorf("per-core lines = %d, want %d", st.Lines(), wantLines)
+	}
+}
+
+func TestStreamTinyCacheClamp(t *testing.T) {
+	s, _ := ByName("ep.C")
+	st := s.NewStream(0, 8, 1<<10, 1) // absurdly small cache
+	if st.Lines() < 64 {
+		t.Errorf("region clamped below minimum: %d", st.Lines())
+	}
+	for i := 0; i < 100; i++ {
+		st.Next() // must not panic or divide by zero
+	}
+}
+
+func TestScanLocality(t *testing.T) {
+	// A scan-heavy spec must produce a large fraction of +1-line strides.
+	s := Spec{Name: "scan", FootprintRatio: 2, ScanFrac: 0.9, WriteFrac: 0, HotFrac: 0, HotRatio: 0.1}
+	st := s.NewStream(0, 1, 64<<20, 3)
+	prev, _, _ := st.Next()
+	seq := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		cur, _, _ := st.Next()
+		if cur == prev+1 {
+			seq++
+		}
+		prev = cur
+	}
+	if frac := float64(seq) / n; frac < 0.7 {
+		t.Errorf("sequential fraction = %v, want > 0.7 for ScanFrac 0.9", frac)
+	}
+}
+
+func TestHotLocality(t *testing.T) {
+	// A hot-heavy spec concentrates accesses in the hot prefix.
+	s := Spec{Name: "hot", FootprintRatio: 2, ScanFrac: 0, HotFrac: 0.8, HotRatio: 0.1, WriteFrac: 0}
+	st := s.NewStream(0, 1, 64<<20, 3)
+	hotEnd := uint64(float64(st.Lines()) * 0.1)
+	inHot := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		line, _, _ := st.Next()
+		if line < hotEnd {
+			inHot++
+		}
+	}
+	// 0.8 targeted + ~0.02 of the uniform remainder.
+	if frac := float64(inHot) / n; frac < 0.7 {
+		t.Errorf("hot fraction = %v, want > 0.7", frac)
+	}
+}
+
+func TestConflictPattern(t *testing.T) {
+	s := Spec{
+		Name: "conf", FootprintRatio: 0.5, ConflictFrac: 1.0,
+		ConflictSets: 8, ConflictDepth: 4,
+	}
+	cacheBytes := uint64(1 << 20) // 16384 lines
+	st := s.NewStream(0, 1, cacheBytes, 3)
+	cacheLines := cacheBytes / mem.LineSize
+	seenRings := map[uint64]bool{}
+	seenWays := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		line, _, _ := st.Next()
+		ring := line % cacheLines
+		way := line / cacheLines
+		if ring >= 8 {
+			t.Fatalf("ring %d out of range", ring)
+		}
+		if way >= 4 {
+			t.Fatalf("way %d out of range", way)
+		}
+		seenRings[ring] = true
+		seenWays[way] = true
+	}
+	if len(seenRings) != 8 || len(seenWays) != 4 {
+		t.Errorf("coverage: %d rings, %d ways", len(seenRings), len(seenWays))
+	}
+	// All lines of one ring collide in the same set for any ways count
+	// that divides the cache (here: check direct-mapped and 4-way of a
+	// 16384-line cache).
+	for _, sets := range []uint64{16384, 4096} {
+		set0 := uint64(3) % sets
+		for k := uint64(0); k < 4; k++ {
+			if (3+k*cacheLines)%sets != set0 {
+				t.Errorf("ring member %d maps to a different set at %d sets", k, sets)
+			}
+		}
+	}
+}
+
+func TestNamedWorkloadsHaveNoConflictMode(t *testing.T) {
+	for _, s := range All() {
+		if s.ConflictFrac != 0 {
+			t.Errorf("%s: named workload uses the synthetic conflict mode", s.Name)
+		}
+	}
+}
+
+func TestBurstyThinkTimes(t *testing.T) {
+	s, _ := ByName("bt.C") // ThinkNS 10
+	st := s.NewStream(0, 8, 64<<20, 1)
+	var sum float64
+	seen := map[float64]bool{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		_, _, think := st.Next()
+		sum += think
+		seen[think] = true
+	}
+	mean := sum / n
+	// The two-phase mix keeps the mean near Spec.ThinkNS.
+	if mean < 0.7*s.ThinkNS || mean > 1.3*s.ThinkNS {
+		t.Errorf("mean think = %v, spec %v", mean, s.ThinkNS)
+	}
+	if len(seen) != 2 {
+		t.Errorf("distinct think values = %d, want 2 (burst/compute)", len(seen))
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := newRNG(9)
+	buckets := make([]int, 16)
+	const n = 64000
+	for i := 0; i < n; i++ {
+		buckets[r.intn(16)]++
+	}
+	for i, b := range buckets {
+		if b < n/16*8/10 || b > n/16*12/10 {
+			t.Errorf("bucket %d count %d far from uniform %d", i, b, n/16)
+		}
+	}
+	if r.intn(0) != 0 {
+		t.Error("intn(0) != 0")
+	}
+}
+
+func BenchmarkStreamNext(b *testing.B) {
+	s, _ := ByName("pr.25")
+	st := s.NewStream(0, 8, 64<<20, 1)
+	for i := 0; i < b.N; i++ {
+		st.Next()
+	}
+}
