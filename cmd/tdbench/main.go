@@ -13,14 +13,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"tdram"
+	"tdram/internal/stats"
 )
 
 // matrixExps are the experiments derived from the shared run matrix.
@@ -54,12 +58,42 @@ var standaloneOrder = []string{"predictor", "prefetcher", "flushbuf", "setassoc"
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "quick", "quick (6 workloads) or full (all 28)")
-		expList   = flag.String("exp", "matrix", "comma-separated experiment ids, 'matrix', 'studies', or 'all'")
-		csvDir    = flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
-		verbose   = flag.Bool("v", false, "print per-run progress")
+		scaleName  = flag.String("scale", "quick", "quick (6 workloads) or full (all 28)")
+		expList    = flag.String("exp", "matrix", "comma-separated experiment ids, 'matrix', 'studies', or 'all'")
+		csvDir     = flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
+		jsonOut    = flag.Bool("json", false, "write a machine-readable run summary to BENCH_<timestamp>.json")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		verbose    = flag.Bool("v", false, "print per-run progress")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -104,6 +138,11 @@ func main() {
 		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 
+	summary := &benchSummary{
+		Timestamp: time.Now().Format(time.RFC3339),
+		Scale:     scale.Name,
+	}
+
 	var m *tdram.Matrix
 	if needMatrix {
 		start := time.Now()
@@ -114,11 +153,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "tdbench: matrix done in %v\n", time.Since(start).Round(time.Second))
+		wall := time.Since(start)
+		fmt.Fprintf(os.Stderr, "tdbench: matrix done in %v\n", wall.Round(time.Second))
+		summary.Matrix = matrixSummary(m, wall)
 	}
 
-	emit := func(rep *tdram.Report) {
+	emit := func(rep *tdram.Report, wall time.Duration) {
 		fmt.Println(rep)
+		summary.Experiments = append(summary.Experiments, experimentSummary{
+			ID: rep.ID, Title: rep.Title, WallSeconds: wall.Seconds(),
+			Summary: rep.Summary, PaperClaim: rep.PaperClaim,
+		})
 		if *csvDir == "" {
 			return
 		}
@@ -132,7 +177,9 @@ func main() {
 
 	for _, id := range ids {
 		if f, ok := matrixExps[id]; ok {
-			emit(f(m))
+			start := time.Now()
+			rep := f(m)
+			emit(rep, time.Since(start))
 			continue
 		}
 		start := time.Now()
@@ -140,11 +187,94 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		emit(rep)
+		emit(rep, time.Since(start))
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "tdbench: %s done in %v\n", id, time.Since(start).Round(time.Second))
 		}
 	}
+
+	if *jsonOut {
+		path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102T150405"))
+		if err := writeSummary(path, summary); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tdbench: wrote %s\n", path)
+	}
+}
+
+// benchSummary is the -json output: what ran, how long it took, and the
+// headline numbers, machine-readable for regression tracking.
+type benchSummary struct {
+	Timestamp   string              `json:"timestamp"`
+	Scale       string              `json:"scale"`
+	Matrix      *matrixJSON         `json:"matrix,omitempty"`
+	Experiments []experimentSummary `json:"experiments"`
+}
+
+type experimentSummary struct {
+	ID          string   `json:"id"`
+	Title       string   `json:"title"`
+	WallSeconds float64  `json:"wall_seconds"`
+	Summary     []string `json:"summary,omitempty"`
+	PaperClaim  string   `json:"paper_claim,omitempty"`
+}
+
+type matrixJSON struct {
+	Workloads   []string `json:"workloads"`
+	Runs        int      `json:"runs"`
+	WallSeconds float64  `json:"wall_seconds"`
+	// SimulatedNS totals the measured-phase simulated time over all runs;
+	// NSPerSecond is the simulation throughput the matrix achieved.
+	SimulatedNS float64 `json:"simulated_ns"`
+	NSPerSecond float64 `json:"simulated_ns_per_wall_second"`
+	// Per-design aggregates over the matrix workloads.
+	GeomeanSpeedupVsBaseline map[string]float64 `json:"geomean_speedup_vs_cascade_lake"`
+	GeomeanMissRatio         map[string]float64 `json:"geomean_miss_ratio"`
+}
+
+func matrixSummary(m *tdram.Matrix, wall time.Duration) *matrixJSON {
+	mj := &matrixJSON{
+		WallSeconds:              wall.Seconds(),
+		GeomeanSpeedupVsBaseline: map[string]float64{},
+		GeomeanMissRatio:         map[string]float64{},
+	}
+	for _, wl := range m.Scale.Workloads {
+		mj.Workloads = append(mj.Workloads, wl.Name)
+	}
+	for _, res := range m.Results {
+		mj.Runs++
+		mj.SimulatedNS += float64(res.Runtime) / 1e3 // ticks are ps
+	}
+	if s := wall.Seconds(); s > 0 {
+		mj.NSPerSecond = mj.SimulatedNS / s
+	}
+	for _, d := range append(tdram.Designs(), tdram.NoCache) {
+		var speedups, missRatios []float64
+		for _, wl := range m.Scale.Workloads {
+			res := m.Get(d, wl.Name)
+			base := m.Get(tdram.CascadeLake, wl.Name)
+			if res == nil || base == nil {
+				continue
+			}
+			speedups = append(speedups, float64(base.Runtime)/float64(res.Runtime))
+			if d != tdram.NoCache {
+				missRatios = append(missRatios, res.Cache.Outcomes.MissRatio())
+			}
+		}
+		mj.GeomeanSpeedupVsBaseline[d.String()] = stats.GeoMean(speedups)
+		if d != tdram.NoCache {
+			mj.GeomeanMissRatio[d.String()] = stats.GeoMean(missRatios)
+		}
+	}
+	return mj
+}
+
+func writeSummary(path string, s *benchSummary) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func fatal(err error) {

@@ -6,13 +6,23 @@
 //
 //	tdsim -design tdram -workload ft.C
 //	tdsim -design cascade-lake -workload pr.25 -capacity 33554432
+//	tdsim -design tdram -workload ft.C -trace out.json -metrics out.csv
 //	tdsim -show-config
+//
+// With -trace, the run records every committed DRAM command, tag-check
+// result, probe and flush-buffer event as Chrome trace-event JSON; load
+// the file at https://ui.perfetto.dev to see per-channel CA/DQ/HM-bus
+// and bank timelines in the style of the paper's Fig. 5-7. With
+// -metrics, queue depths, bus utilization and miss ratio are sampled
+// every -metrics-interval of simulated time into CSV (or JSON if the
+// file name ends in .json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tdram"
 	"tdram/internal/dram"
@@ -33,6 +43,9 @@ func main() {
 		predictor     = flag.Bool("predictor", false, "MAP-I predictor (cascade-lake/alloy only)")
 		flushSize     = flag.Int("flush", 16, "flush/victim buffer entries (tdram/ndc)")
 		seed          = flag.Uint64("seed", 1, "workload PRNG seed")
+		tracePath     = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file")
+		metricsPath   = flag.String("metrics", "", "write sampled time-series metrics (.csv or .json)")
+		metricsEvery  = flag.String("metrics-interval", "1us", "metrics sampling period of simulated time (e.g. 500ns, 1us)")
 		list          = flag.Bool("list", false, "list workloads and exit")
 		showConfig    = flag.Bool("show-config", false, "print the Table III device timing and exit")
 		showOverheads = flag.Bool("show-overheads", false, "print the paper's analytical area/pin overheads and exit")
@@ -79,11 +92,82 @@ func main() {
 		}
 	}
 
-	res, err := tdram.Run(cfg)
+	if *tracePath != "" {
+		cfg.Obs.Trace = true
+	}
+	if *metricsPath != "" {
+		iv, err := tdram.ParseTick(*metricsEvery)
+		if err != nil || iv <= 0 {
+			fatal(fmt.Errorf("bad -metrics-interval %q", *metricsEvery))
+		}
+		cfg.Obs.MetricsInterval = iv
+	}
+
+	sys, err := tdram.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sys.Run()
 	if err != nil {
 		fatal(err)
 	}
 	printResult(res)
+	if err := writeObservations(sys.Observer(), *tracePath, *metricsPath); err != nil {
+		fatal(err)
+	}
+}
+
+// writeObservations saves the run's trace and metrics files and prints
+// the observer's run-summary counters.
+func writeObservations(o *tdram.Observer, tracePath, metricsPath string) error {
+	if o == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		n, dropped := o.TraceEvents()
+		fmt.Printf("trace         %s (%d events", tracePath, n)
+		if dropped > 0 {
+			fmt.Printf(", %d dropped", dropped)
+		}
+		fmt.Printf(") — load at https://ui.perfetto.dev\n")
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		write := o.WriteMetricsCSV
+		if strings.HasSuffix(metricsPath, ".json") {
+			write = o.WriteMetricsJSON
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics       %s (%d samples, %d series)\n",
+			metricsPath, o.Samples(), len(o.MetricNames()))
+	}
+	if cs := o.Counters(); len(cs) > 0 {
+		fmt.Println("observer counters:")
+		for _, c := range cs {
+			fmt.Printf("  %-28s %d\n", c.Name, c.Value)
+		}
+	}
+	return nil
 }
 
 func printResult(r *tdram.Result) {

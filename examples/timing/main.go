@@ -2,14 +2,18 @@
 // from the device engine — the reproduction's equivalent of the paper's
 // Figs. 5-7: a pipelined read burst (with the HM results landing well
 // before the data), a write, and early tag probes squeezed into unused
-// command-bus slots.
+// command-bus slots. The same transactions are also recorded through
+// internal/obs and written to timing_trace.json, which loads at
+// https://ui.perfetto.dev as interactive versions of the same diagrams.
 package main
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
 	"tdram/internal/dram"
+	"tdram/internal/obs"
 	"tdram/internal/sim"
 )
 
@@ -18,6 +22,8 @@ func main() {
 	p := dram.CacheDeviceParams(16 << 20)
 	p.TREFI = 0 // keep the diagram clean
 	ch := dram.NewChannel(s, &p, 0)
+	o := obs.New(s, obs.Config{Trace: true})
+	ch.SetObserver(o)
 
 	fmt.Println("TDRAM pipelined reads (paper Fig. 5): ActRd on four banks")
 	fmt.Print("HM results arrive at cmd+15ns; data at cmd+30..32ns\n\n")
@@ -43,6 +49,19 @@ func main() {
 		prows = append(prows, row{fmt.Sprintf("Probe b%d", bank), iss})
 	}
 	draw(prows, 40)
+
+	f, err := os.Create("timing_trace.json")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timing:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := o.WriteTrace(f); err != nil {
+		fmt.Fprintln(os.Stderr, "timing:", err)
+		os.Exit(1)
+	}
+	n, _ := o.TraceEvents()
+	fmt.Printf("\nwrote timing_trace.json (%d events) — load at https://ui.perfetto.dev\n", n)
 }
 
 type row struct {

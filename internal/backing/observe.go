@@ -1,0 +1,36 @@
+package backing
+
+import (
+	"tdram/internal/obs"
+)
+
+// SetObserver attaches o to the backing store: the DDR5 device's channel
+// tracks plus sampled gauges for queue occupancy and DQ utilization.
+func (m *Memory) SetObserver(o *obs.Observer) {
+	m.dev.SetObserver(o)
+	o.Gauge("mm.readq", func() float64 {
+		n := 0
+		for _, c := range m.chans {
+			n += len(c.readQ)
+		}
+		return float64(n)
+	})
+	o.Gauge("mm.writeq", func() float64 {
+		n := 0
+		for _, c := range m.chans {
+			n += len(c.writeQ)
+		}
+		return float64(n)
+	})
+	var last uint64
+	o.Gauge("mm.dq_util", func() float64 {
+		s := m.dev.Stats()
+		d := s.DQBusyTicks - last
+		last = s.DQBusyTicks
+		iv := o.MetricsInterval()
+		if iv <= 0 {
+			return 0
+		}
+		return float64(d) / (float64(iv) * float64(m.dev.Channels()))
+	})
+}

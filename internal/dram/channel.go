@@ -3,6 +3,7 @@ package dram
 import (
 	"fmt"
 
+	"tdram/internal/obs"
 	"tdram/internal/sim"
 )
 
@@ -66,14 +67,17 @@ type ChannelStats struct {
 	HMTransfers  uint64
 	RowHits      uint64 // open-page policy: column ops to an open row
 	Precharges   uint64 // open-page policy: explicit row-conflict precharges
+	DQBusyTicks  uint64 // cumulative DQ-bus reservation, in ticks (utilization)
+	HMBusyTicks  uint64 // cumulative HM-bus reservation, in ticks
 }
 
 // Channel is one independent channel of a device: its CA/DQ/HM buses and
 // bank timing state. All methods must be called from the simulation
 // goroutine.
 type Channel struct {
-	sim *sim.Simulator
-	p   *Params
+	sim   *sim.Simulator
+	p     *Params
+	index int
 
 	ca *sim.Timeline
 	dq *DQBus
@@ -100,6 +104,11 @@ type Channel struct {
 
 	stats ChannelStats
 
+	// obs is the observability hook; nil (the default) disables
+	// instrumentation at the cost of one branch per commit.
+	obs    *obs.Observer
+	tracks channelTracks
+
 	// OnRefresh, when set, is invoked at the start of each refresh with
 	// the window during which banks are unavailable but the DQ bus is
 	// idle — the flush-buffer drain opportunity (§III-D2).
@@ -113,6 +122,7 @@ func NewChannel(s *sim.Simulator, p *Params, index int) *Channel {
 	c := &Channel{
 		sim:        s,
 		p:          p,
+		index:      index,
 		ca:         sim.NewTimeline(fmt.Sprintf("%s.ca%d", p.Name, index)),
 		dq:         NewDQBus(p.TRTW, p.TWTR),
 		hm:         sim.NewTimeline(fmt.Sprintf("%s.hm%d", p.Name, index)),
@@ -155,6 +165,9 @@ func (c *Channel) refresh() {
 	}
 	c.refreshOpen(end)
 	c.stats.Refreshes++
+	if c.obs != nil {
+		c.obs.Slice(c.tracks.refresh, "refresh", now, end)
+	}
 	if c.OnRefresh != nil {
 		c.OnRefresh(now, end)
 	}
@@ -277,7 +290,11 @@ func (c *Channel) Commit(op Op, at sim.Tick) Issue {
 	c.hm.Release(at)
 
 	if c.p.OpenPage && (op.Kind == OpRead || op.Kind == OpWrite) {
-		return c.commitOpen(op, at)
+		iss := c.commitOpen(op, at)
+		if c.obs != nil {
+			c.observeCommit(op, iss)
+		}
+		return iss
 	}
 
 	iss := Issue{At: at}
@@ -289,6 +306,7 @@ func (c *Channel) Commit(op Op, at sim.Tick) Issue {
 		c.dq.Reserve(at+off, burst, dir)
 		iss.DataStart = at + off
 		iss.DataEnd = at + off + burst
+		c.stats.DQBusyTicks += uint64(burst)
 	}
 
 	switch op.Kind {
@@ -309,11 +327,15 @@ func (c *Channel) Commit(op Op, at sim.Tick) Issue {
 		hmAt := at + c.p.TagInternalOffset()
 		c.hm.Reserve(hmAt, c.p.THMBus)
 		c.stats.HMTransfers++
+		c.stats.HMBusyTicks += uint64(c.p.THMBus)
 		iss.TagInt = hmAt
 		iss.HMAt = at + c.p.HMOffset()
 		if op.Kind == OpProbe {
 			c.stats.Probes++
 		}
+	}
+	if c.obs != nil {
+		c.observeCommit(op, iss)
 	}
 	return iss
 }

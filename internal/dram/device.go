@@ -56,6 +56,8 @@ func (d *Device) Stats() ChannelStats {
 		total.HMTransfers += s.HMTransfers
 		total.RowHits += s.RowHits
 		total.Precharges += s.Precharges
+		total.DQBusyTicks += s.DQBusyTicks
+		total.HMBusyTicks += s.HMBusyTicks
 	}
 	return total
 }

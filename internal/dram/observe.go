@@ -1,0 +1,121 @@
+package dram
+
+import (
+	"fmt"
+
+	"tdram/internal/obs"
+)
+
+// Observability wiring. Each channel owns a set of Perfetto tracks laid
+// out like the paper's Fig. 5-7 timing diagrams: the CA command bus on
+// top, the DQ data bus and the HM result bus below it, then one track
+// per bank (and per tag bank on tag-enhanced devices) showing busy
+// windows, and a refresh track showing the tRFC blackout. Tracks are
+// registered once at SetObserver time (bank tracks lazily, since a
+// 16-bank channel that only ever touches four banks should not clutter
+// the view with twelve empty rows).
+
+// channelTracks caches the per-channel track IDs.
+type channelTracks struct {
+	ca      obs.TrackID
+	dq      obs.TrackID
+	hm      obs.TrackID
+	refresh obs.TrackID
+	bank    []obs.TrackID // lazily registered per data bank
+	tag     []obs.TrackID // lazily registered per tag bank
+}
+
+// SetObserver attaches o to the channel. Pass nil to detach. Tracing
+// hooks fire only while an observer with an active trace is attached;
+// the disabled path costs one nil check per commit.
+func (c *Channel) SetObserver(o *obs.Observer) {
+	c.obs = o
+	c.tracks = channelTracks{}
+	if !o.TraceEnabled() {
+		return
+	}
+	proc := fmt.Sprintf("%s.ch%d", c.p.Name, c.index)
+	c.tracks.ca = o.Track(proc, "ca")
+	c.tracks.dq = o.Track(proc, "dq")
+	if c.p.HasTagBanks() {
+		c.tracks.hm = o.Track(proc, "hm")
+	}
+	c.tracks.refresh = o.Track(proc, "refresh")
+	c.tracks.bank = make([]obs.TrackID, c.p.Banks)
+	c.tracks.tag = make([]obs.TrackID, c.p.Banks)
+}
+
+// SetObserver attaches o to every channel of the device.
+func (d *Device) SetObserver(o *obs.Observer) {
+	for _, c := range d.chans {
+		c.SetObserver(o)
+	}
+}
+
+// bankTrack returns (registering on first use) the busy track for a
+// data bank.
+func (c *Channel) bankTrack(bank int) obs.TrackID {
+	if c.tracks.bank[bank] == 0 {
+		proc := fmt.Sprintf("%s.ch%d", c.p.Name, c.index)
+		c.tracks.bank[bank] = c.obs.Track(proc, fmt.Sprintf("bank%02d", bank))
+	}
+	return c.tracks.bank[bank]
+}
+
+// tagTrack is bankTrack for the paired tag bank.
+func (c *Channel) tagTrack(bank int) obs.TrackID {
+	if c.tracks.tag[bank] == 0 {
+		proc := fmt.Sprintf("%s.ch%d", c.p.Name, c.index)
+		c.tracks.tag[bank] = c.obs.Track(proc, fmt.Sprintf("tag%02d", bank))
+	}
+	return c.tracks.tag[bank]
+}
+
+// opMnemonic names a committed command the way the paper does: the
+// combined tag+data activates are ActRd/ActWr (Fig. 4), a tag-only
+// access is a probe (§III-E), and an explicit flush-buffer drain is the
+// RES (restore) stream command (§III-D2).
+func (c *Channel) opMnemonic(op Op) string {
+	tag := c.usesTag(op)
+	switch op.Kind {
+	case OpRead:
+		if tag {
+			return "ActRd"
+		}
+		return "Rd"
+	case OpWrite:
+		if tag {
+			return "ActWr"
+		}
+		return "Wr"
+	case OpProbe:
+		return "Probe"
+	case OpStreamRead:
+		return "RES"
+	}
+	return op.Kind.String()
+}
+
+// observeCommit emits the trace events and command-mix counters for one
+// committed access. Callers nil-check c.obs first.
+func (c *Channel) observeCommit(op Op, iss Issue) {
+	mn := c.opMnemonic(op)
+	c.obs.Inc(c.p.Name + ".cmd." + mn)
+	if !c.obs.TraceEnabled() {
+		return
+	}
+	c.obs.Slice(c.tracks.ca, mn, iss.At, iss.At+c.p.TCMD)
+	if iss.DataEnd > iss.DataStart {
+		c.obs.Slice(c.tracks.dq, mn, iss.DataStart, iss.DataEnd)
+	}
+	if iss.BankFree > 0 {
+		c.obs.Slice(c.bankTrack(op.Bank), fmt.Sprintf("row act b%d", op.Bank), iss.At, iss.BankFree)
+	}
+	if iss.TagInt > 0 {
+		// Tag bank busy for its full cycle; the HM bus carries the
+		// hit/miss result tHM_bus wide starting when the tag comparison
+		// completes internally.
+		c.obs.Slice(c.tagTrack(op.Bank), "tag act", iss.At, iss.At+c.p.TRCTag)
+		c.obs.Slice(c.tracks.hm, "HM", iss.TagInt, iss.TagInt+c.p.THMBus)
+	}
+}

@@ -171,6 +171,7 @@ func (c *Channel) commitOpen(op Op, at sim.Tick) Issue {
 	iss.DataStart = colAt + off
 	iss.DataEnd = iss.DataStart + burst
 	c.dq.Reserve(iss.DataStart, burst, dir)
+	c.stats.DQBusyTicks += uint64(burst)
 
 	// Column cadence and precharge constraints.
 	b.nextCol = colAt + c.p.TBURST

@@ -3,6 +3,7 @@ package dramcache
 import (
 	"tdram/internal/dram"
 	"tdram/internal/mem"
+	"tdram/internal/obs"
 	"tdram/internal/sim"
 )
 
@@ -74,6 +75,12 @@ type chanCtl struct {
 	draining bool
 	retryAt  sim.Tick
 	retryGen uint64
+
+	// Perfetto tracks; zero when tracing is off (see observe.go).
+	trkReadQ  obs.TrackID
+	trkWriteQ obs.TrackID
+	trkFlush  obs.TrackID
+	trkEvents obs.TrackID
 }
 
 func (cc *chanCtl) cfg() *Config    { return &cc.ctl.cfg }
@@ -117,6 +124,7 @@ func (cc *chanCtl) acceptReadIdeal(req *mem.Request, line uint64, bank int) bool
 	}
 	outcome, victim, _ := cc.ctl.tags.access(line, false, true)
 	cc.st().Outcomes.Add(outcome)
+	cc.observeOutcome(outcome, cc.now())
 	cc.ctl.sampleTagCheck(0)
 	switch outcome {
 	case mem.ReadHit:
@@ -157,6 +165,7 @@ func (cc *chanCtl) acceptWrite(req *mem.Request, bank int) bool {
 			// no tag-check latency sample exists for this demand.
 			outcome, _, _ := cc.ctl.tags.access(line, true, true)
 			cc.st().Outcomes.Add(outcome)
+			cc.observeOutcome(outcome, cc.now())
 			cc.ctl.bearObserve(line, outcome)
 			cc.writeQ = append(cc.writeQ, &txn{
 				kind: txnWrite, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
@@ -181,6 +190,7 @@ func (cc *chanCtl) acceptWrite(req *mem.Request, bank int) bool {
 		}
 		outcome, victim, _ := cc.ctl.tags.access(line, true, true)
 		cc.st().Outcomes.Add(outcome)
+		cc.observeOutcome(outcome, cc.now())
 		w := &txn{
 			kind: txnWrite, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
 			outcomeKnown: true, outcome: outcome,
@@ -320,6 +330,7 @@ func (cc *chanCtl) pass() {
 		break
 	}
 	cc.scheduleRetry(now)
+	cc.observeQueues()
 	if issued {
 		cc.ctl.retryUpstream()
 	}

@@ -91,6 +91,7 @@ func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
 		cc.ctl.predictor.Update(t.req.Core, t.line, outcome.IsHit())
 	}
 	tagAt := cc.tagDoneAt(iss)
+	cc.observeOutcome(outcome, tagAt)
 	cc.recordTag(t, tagAt)
 
 	switch outcome {
@@ -184,6 +185,7 @@ func (cc *chanCtl) issueWriteTagRead(t *txn, iss dram.Issue) {
 	cc.st().ReadQueueing.AddTick(iss.At - t.arrive)
 	outcome, victim, _ := cc.ctl.tags.access(t.line, true, true)
 	cc.st().Outcomes.Add(outcome)
+	cc.observeOutcome(outcome, iss.DataEnd)
 	cc.ctl.bearObserve(t.line, outcome)
 	cc.meterColRead()
 	if outcome == mem.WriteMissDirty {
@@ -226,6 +228,7 @@ func (cc *chanCtl) issueWrite(t *txn, iss dram.Issue) {
 		outcome, victim, _ := cc.ctl.tags.access(t.line, true, true)
 		t.outcome, t.outcomeKnown = outcome, true
 		cc.st().Outcomes.Add(outcome)
+		cc.observeOutcome(outcome, cc.tagDoneAt(iss))
 		cc.recordTag(t, cc.tagDoneAt(iss))
 		if outcome == mem.WriteMissDirty {
 			// The displaced dirty line moves into the flush buffer with
@@ -301,10 +304,12 @@ func (cc *chanCtl) tryProbe(now sim.Tick) bool {
 	}
 	iss := cc.ch.Commit(dram.Op{Kind: dram.OpProbe, Bank: pick.bank}, now)
 	cc.st().Probes++
+	cc.observeProbe(now)
 	pick.probed = true
 	outcome, victim, _ := cc.ctl.tags.access(pick.line, false, true)
 	pick.outcome, pick.outcomeKnown, pick.victim = outcome, true, victim
 	cc.st().Outcomes.Add(outcome)
+	cc.observeOutcome(outcome, iss.HMAt)
 	if !outcome.IsHit() {
 		cc.ctl.markInflight(pick.line)
 	}
@@ -364,6 +369,7 @@ func (cc *chanCtl) pushFlush(victim uint64) {
 	if len(cc.flush) > cc.st().FlushMax {
 		cc.st().FlushMax = len(cc.flush)
 	}
+	cc.observeFlushFill()
 }
 
 // drainIdleSlot uses a read-miss-clean's unused DQ slot to move one
@@ -375,6 +381,7 @@ func (cc *chanCtl) drainIdleSlot(at sim.Tick) {
 	line := cc.flush[0]
 	cc.flush = cc.flush[1:]
 	cc.st().FlushDrainIdleSlot++
+	cc.observeFlushDrain("idle-slot")
 	cc.st().Traffic.VictimBytes += 64
 	cc.ctl.meter.Bytes += 64
 	cc.ctl.sim.ScheduleAt(at, func() { cc.ctl.writeback(line) })
@@ -388,6 +395,7 @@ func (cc *chanCtl) refreshDrain(start, end sim.Tick) {
 		line := cc.flush[0]
 		cc.flush = cc.flush[1:]
 		cc.st().FlushDrainRefresh++
+		cc.observeFlushDrain("refresh")
 		cc.st().Traffic.VictimBytes += 64
 		cc.ctl.meter.Bytes += 64
 		cc.ctl.writeback(line)
@@ -422,6 +430,7 @@ func (cc *chanCtl) tryExplicitDrain(now sim.Tick) bool {
 	line := cc.flush[0]
 	cc.flush = cc.flush[1:]
 	cc.st().FlushDrainExplicit++
+	cc.observeFlushDrain("explicit")
 	if cc.cfg().Design == TDRAM {
 		cc.st().FlushStalls++
 	}

@@ -8,6 +8,7 @@ import (
 	"tdram/internal/ecc"
 	"tdram/internal/energy"
 	"tdram/internal/mem"
+	"tdram/internal/obs"
 	"tdram/internal/predict"
 	"tdram/internal/sim"
 	"tdram/internal/stats"
@@ -135,6 +136,9 @@ type Controller struct {
 	// fill-leader sets push it down; followers bypass while it stays
 	// below the threshold (bypassing is not costing hits).
 	bearPSel int
+
+	// obs is the observability hook; nil (the default) disables it.
+	obs *obs.Observer
 
 	meter   *energy.Meter // cache device
 	mmMeter *energy.Meter
@@ -358,6 +362,8 @@ func (c *Controller) DeviceActivity() dram.ChannelStats {
 		HMTransfers:  d.HMTransfers - c.devBase.HMTransfers,
 		RowHits:      d.RowHits - c.devBase.RowHits,
 		Precharges:   d.Precharges - c.devBase.Precharges,
+		DQBusyTicks:  d.DQBusyTicks - c.devBase.DQBusyTicks,
+		HMBusyTicks:  d.HMBusyTicks - c.devBase.HMBusyTicks,
 	}
 }
 

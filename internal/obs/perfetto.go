@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"tdram/internal/sim"
+)
+
+// The Perfetto exporter emits the Chrome trace-event JSON format
+// (https://ui.perfetto.dev loads it directly): an array of events with
+// microsecond timestamps. Hardware resources map onto the format's
+// process/thread hierarchy — a "process" is a device channel or a
+// controller, a "thread" is one serial resource on it (the CA bus, the
+// DQ bus, the HM bus, one bank) — so the timeline view reads exactly
+// like the paper's Fig. 5-7 diagrams: commands on the CA track, bursts
+// on the DQ track, results on the HM track, bank occupancy below.
+
+// TrackID names one registered track. The zero value is invalid; hook
+// sites obtain IDs from Observer.Track during wiring.
+type TrackID int32
+
+type track struct {
+	process string
+	name    string
+	pid     int
+	tid     int
+	lastVal float64 // last emitted counter value (dedup)
+	hasLast bool
+}
+
+type phase byte
+
+const (
+	phSlice   phase = 'X'
+	phInstant phase = 'i'
+	phCounter phase = 'C'
+)
+
+type traceEvent struct {
+	track TrackID
+	ph    phase
+	name  string
+	start sim.Tick
+	dur   sim.Tick // slices only
+	value float64  // counters only
+}
+
+// Trace is the Perfetto event buffer.
+type Trace struct {
+	tracks  []track
+	pids    map[string]int
+	nextTid map[int]int
+	events  []traceEvent
+	max     int
+	dropped uint64
+}
+
+func newTrace(max int) *Trace {
+	return &Trace{pids: make(map[string]int), nextTid: make(map[int]int), max: max}
+}
+
+// Track registers (or finds) the track named name under the given
+// process group and returns its ID. Safe on a nil Observer, which
+// returns 0 — hook sites may store the zero ID and later emission calls
+// are no-ops because the observer itself is nil-checked first.
+func (o *Observer) Track(process, name string) TrackID {
+	if o == nil || o.trace == nil {
+		return 0
+	}
+	t := o.trace
+	for i := range t.tracks {
+		if t.tracks[i].process == process && t.tracks[i].name == name {
+			return TrackID(i + 1)
+		}
+	}
+	pid, ok := t.pids[process]
+	if !ok {
+		pid = len(t.pids) + 1
+		t.pids[process] = pid
+	}
+	t.nextTid[pid]++
+	t.tracks = append(t.tracks, track{process: process, name: name, pid: pid, tid: t.nextTid[pid]})
+	return TrackID(len(t.tracks))
+}
+
+func (t *Trace) push(e traceEvent) {
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Slice records a duration event [start, end) on a track.
+func (o *Observer) Slice(tr TrackID, name string, start, end sim.Tick) {
+	if o == nil || o.trace == nil || tr == 0 {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	o.trace.push(traceEvent{track: tr, ph: phSlice, name: name, start: start, dur: end - start})
+}
+
+// Instant records a point event on a track.
+func (o *Observer) Instant(tr TrackID, name string, at sim.Tick) {
+	if o == nil || o.trace == nil || tr == 0 {
+		return
+	}
+	o.trace.push(traceEvent{track: tr, ph: phInstant, name: name, start: at})
+}
+
+// CounterInt records a counter-track update; consecutive updates with an
+// unchanged value are merged away, so hook sites may call this
+// unconditionally on every scheduling pass.
+func (o *Observer) CounterInt(tr TrackID, at sim.Tick, v int64) {
+	o.CounterFloat(tr, at, float64(v))
+}
+
+// CounterFloat is CounterInt for fractional series.
+func (o *Observer) CounterFloat(tr TrackID, at sim.Tick, v float64) {
+	if o == nil || o.trace == nil || tr == 0 {
+		return
+	}
+	t := &o.trace.tracks[tr-1]
+	if t.hasLast && t.lastVal == v {
+		return
+	}
+	t.lastVal, t.hasLast = v, true
+	o.trace.push(traceEvent{track: tr, ph: phCounter, name: t.name, start: at, value: v})
+}
+
+// TraceEvents reports recorded and dropped event counts.
+func (o *Observer) TraceEvents() (recorded int, dropped uint64) {
+	if o == nil || o.trace == nil {
+		return 0, 0
+	}
+	return len(o.trace.events), o.trace.dropped
+}
+
+// us renders a tick timestamp in microseconds, the trace-event format's
+// time unit, at full picosecond precision.
+func us(t sim.Tick) string {
+	return strconv.FormatFloat(float64(t)/1e6, 'f', 6, 64)
+}
+
+// WriteTrace writes the recorded events as Chrome trace-event JSON. It
+// is valid with zero events (an empty run still loads).
+func (o *Observer) WriteTrace(w io.Writer) error {
+	if o == nil || o.trace == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`)
+		return err
+	}
+	t := o.trace
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	// Metadata: process and thread names. Processes are emitted in pid
+	// order (registration order), threads in track registration order,
+	// so the file is deterministic for a deterministic run.
+	procs := make([]string, len(t.pids)+1)
+	for name, pid := range t.pids {
+		procs[pid] = name
+	}
+	for pid := 1; pid < len(procs); pid++ {
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+			pid, strconv.Quote(procs[pid])))
+	}
+	for _, tr := range t.tracks {
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			tr.pid, tr.tid, strconv.Quote(tr.name)))
+	}
+	for i := range t.events {
+		e := &t.events[i]
+		tr := &t.tracks[e.track-1]
+		switch e.ph {
+		case phSlice:
+			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"ts":%s,"dur":%s}`,
+				tr.pid, tr.tid, strconv.Quote(e.name), us(e.start), us(e.dur)))
+		case phInstant:
+			emit(fmt.Sprintf(`{"ph":"i","pid":%d,"tid":%d,"name":%s,"ts":%s,"s":"t"}`,
+				tr.pid, tr.tid, strconv.Quote(e.name), us(e.start)))
+		case phCounter:
+			emit(fmt.Sprintf(`{"ph":"C","pid":%d,"name":%s,"ts":%s,"args":{"value":%s}}`,
+				tr.pid, strconv.Quote(e.name), us(e.start),
+				strconv.FormatFloat(e.value, 'g', -1, 64)))
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -35,7 +35,39 @@ func NS(ns float64) Tick {
 // Nanoseconds reports t as a float64 nanosecond count.
 func (t Tick) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
 
+// Microseconds reports t as a float64 microsecond count — the time unit
+// of the Chrome/Perfetto trace-event format.
+func (t Tick) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
 func (t Tick) String() string { return fmt.Sprintf("%.3fns", t.Nanoseconds()) }
+
+// ParseTick parses a duration string with a unit suffix — "500ps",
+// "2.5ns", "1us", "3ms" — into ticks. It exists so CLI flags can accept
+// human-friendly intervals without importing time (whose Duration cannot
+// represent sub-nanosecond model steps).
+func ParseTick(s string) (Tick, error) {
+	units := []struct {
+		suffix string
+		mult   Tick
+	}{
+		{"ps", Picosecond}, {"ns", Nanosecond}, {"us", Microsecond}, {"ms", Millisecond},
+	}
+	for _, u := range units {
+		n := len(s) - len(u.suffix)
+		if n <= 0 || s[n:] != u.suffix {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(s[:n], "%g", &v); err != nil {
+			return 0, fmt.Errorf("sim: bad duration %q: %v", s, err)
+		}
+		if v < 0 {
+			return 0, fmt.Errorf("sim: negative duration %q", s)
+		}
+		return Tick(v*float64(u.mult) + 0.5), nil
+	}
+	return 0, fmt.Errorf("sim: duration %q needs a ps/ns/us/ms suffix", s)
+}
 
 // event is a scheduled callback.
 type event struct {

@@ -15,18 +15,23 @@ import (
 
 // Mean accumulates a running arithmetic mean without storing samples.
 type Mean struct {
-	n   uint64
-	sum float64
-	max float64
+	n        uint64
+	sum      float64
+	min, max float64
 }
 
-// Add records one sample.
+// Add records one sample. The extrema seed from the first sample rather
+// than zero, so they are correct for all-negative and all-positive
+// sample sets alike.
 func (m *Mean) Add(v float64) {
-	m.n++
-	m.sum += v
-	if v > m.max {
+	if m.n == 0 || v > m.max {
 		m.max = v
 	}
+	if m.n == 0 || v < m.min {
+		m.min = v
+	}
+	m.n++
+	m.sum += v
 }
 
 // AddTick records a tick-valued sample in nanoseconds.
@@ -40,6 +45,9 @@ func (m *Mean) Sum() float64 { return m.sum }
 
 // Max reports the largest sample seen (0 when empty).
 func (m *Mean) Max() float64 { return m.max }
+
+// Min reports the smallest sample seen (0 when empty).
+func (m *Mean) Min() float64 { return m.min }
 
 // Value reports the mean, or 0 when no samples were recorded.
 func (m *Mean) Value() float64 {

@@ -27,6 +27,38 @@ func TestMean(t *testing.T) {
 	}
 }
 
+func TestMeanMinMax(t *testing.T) {
+	var m Mean
+	if m.Min() != 0 || m.Max() != 0 {
+		t.Errorf("empty extrema: min=%v max=%v", m.Min(), m.Max())
+	}
+	// All-negative samples: the extrema must seed from the first sample,
+	// not from zero.
+	for _, v := range []float64{-3, -1, -7} {
+		m.Add(v)
+	}
+	if m.Max() != -1 {
+		t.Errorf("all-negative max = %v, want -1", m.Max())
+	}
+	if m.Min() != -7 {
+		t.Errorf("all-negative min = %v, want -7", m.Min())
+	}
+
+	var p Mean
+	for _, v := range []float64{5, 2, 9} {
+		p.Add(v)
+	}
+	if p.Min() != 2 || p.Max() != 9 {
+		t.Errorf("positive extrema: min=%v max=%v, want 2, 9", p.Min(), p.Max())
+	}
+
+	var one Mean
+	one.Add(4.5)
+	if one.Min() != 4.5 || one.Max() != 4.5 {
+		t.Errorf("single-sample extrema: min=%v max=%v", one.Min(), one.Max())
+	}
+}
+
 func TestHist(t *testing.T) {
 	h := NewHist(10, 1.0)
 	for i := 0; i < 100; i++ {

@@ -1,0 +1,106 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"tdram/internal/dramcache"
+	"tdram/internal/obs"
+	"tdram/internal/workload"
+)
+
+// TestObservabilityDeterminism is the tracing-never-perturbs-timing
+// guard: for every design, a run with full observability (tracing and
+// metrics sampling) must produce bit-identical final statistics to a run
+// without it. Hooks only read model state, and the sampler runs on
+// daemon events that cannot reorder model events relative to each other.
+func TestObservabilityDeterminism(t *testing.T) {
+	wl, err := workload.ByName("ft.C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs := append(dramcache.Designs(), dramcache.NoCache)
+	for _, d := range designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(oc obs.Config) *Result {
+				cfg := DefaultConfig(d, wl, 4<<20)
+				cfg.RequestsPerCore = 400
+				cfg.WarmupPerCore = 100
+				cfg.Obs = oc
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			plain := run(obs.Config{})
+			observed := run(obs.Config{Trace: true, MetricsInterval: 500_000})
+
+			if plain.Runtime != observed.Runtime {
+				t.Errorf("runtime differs: %v without obs, %v with", plain.Runtime, observed.Runtime)
+			}
+			// Compare everything the run measures. The histograms live
+			// behind pointers, so compare their contents and then the
+			// remaining value fields.
+			if !reflect.DeepEqual(*plain.Cache.TagCheckHist, *observed.Cache.TagCheckHist) {
+				t.Error("tag-check histogram differs under observation")
+			}
+			if !reflect.DeepEqual(*plain.Cache.ReadLatencyHist, *observed.Cache.ReadLatencyHist) {
+				t.Error("read-latency histogram differs under observation")
+			}
+			pc, oc2 := plain.Cache, observed.Cache
+			pc.TagCheckHist, pc.ReadLatencyHist = nil, nil
+			oc2.TagCheckHist, oc2.ReadLatencyHist = nil, nil
+			if !reflect.DeepEqual(pc, oc2) {
+				t.Errorf("cache stats differ under observation:\nwithout: %+v\nwith:    %+v", pc, oc2)
+			}
+			if !reflect.DeepEqual(plain.MM, observed.MM) {
+				t.Errorf("backing-store stats differ under observation:\nwithout: %+v\nwith:    %+v", plain.MM, observed.MM)
+			}
+			if !reflect.DeepEqual(plain.Energy, observed.Energy) {
+				t.Error("energy report differs under observation")
+			}
+		})
+	}
+}
+
+// TestObserverOutputsPopulated sanity-checks that an observed run
+// actually records something on every output.
+func TestObserverOutputsPopulated(t *testing.T) {
+	wl, err := workload.ByName("ft.C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(dramcache.TDRAM, wl, 4<<20)
+	cfg.RequestsPerCore = 400
+	cfg.WarmupPerCore = 100
+	cfg.Obs = obs.Config{Trace: true, MetricsInterval: 500_000}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	o := sys.Observer()
+	if o == nil {
+		t.Fatal("observer not attached")
+	}
+	if n, _ := o.TraceEvents(); n == 0 {
+		t.Error("no trace events recorded")
+	}
+	if o.Samples() == 0 {
+		t.Error("no metric samples recorded")
+	}
+	found := map[string]bool{}
+	for _, c := range o.Counters() {
+		found[c.Name] = true
+	}
+	for _, want := range []string{"hbm3-cache.cmd.ActRd", "hbm3-cache.cmd.ActWr", "cache.flush.fill"} {
+		if !found[want] {
+			t.Errorf("counter %q missing (have %v)", want, found)
+		}
+	}
+}

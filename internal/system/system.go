@@ -15,6 +15,7 @@ import (
 	"tdram/internal/dram"
 	"tdram/internal/dramcache"
 	"tdram/internal/energy"
+	"tdram/internal/obs"
 	"tdram/internal/sim"
 	"tdram/internal/workload"
 )
@@ -23,6 +24,11 @@ import (
 type Config struct {
 	Workload workload.Spec
 	Cache    dramcache.Config
+
+	// Obs selects observability outputs (tracing, metrics sampling). The
+	// zero value runs without an observer: no overhead beyond one nil
+	// check per hook site.
+	Obs obs.Config
 
 	Cores          int // Table III: 8
 	MaxOutstanding int // per-core in-flight DRAM-cache reads (MSHR-style MLP)
@@ -124,6 +130,7 @@ type System struct {
 	sim   *sim.Simulator
 	mm    *backing.Memory
 	ctl   *dramcache.Controller
+	obs   *obs.Observer
 	cores []*core
 }
 
@@ -143,6 +150,11 @@ func New(cfg Config) (*System, error) {
 	}
 	sys := &System{cfg: cfg, sim: s, mm: mm, ctl: ctl}
 	ctl.OnDemandRetry = sys.wakeStalled
+	if cfg.Obs.Enabled() {
+		sys.obs = obs.New(s, cfg.Obs)
+		ctl.SetObserver(sys.obs)
+		mm.SetObserver(sys.obs)
+	}
 	// Workload footprints scale against the nominal cache capacity even
 	// in the no-cache configuration, so runtimes are comparable.
 	capacity := cfg.Cache.CapacityBytes
@@ -202,6 +214,9 @@ func (sys *System) Controller() *dramcache.Controller { return sys.ctl }
 
 // Simulator exposes the event kernel.
 func (sys *System) Simulator() *sim.Simulator { return sys.sim }
+
+// Observer exposes the observability subsystem (nil when disabled).
+func (sys *System) Observer() *obs.Observer { return sys.obs }
 
 // wakeStalled reschedules every core waiting on controller backpressure.
 func (sys *System) wakeStalled() {

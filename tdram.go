@@ -22,6 +22,7 @@ package tdram
 import (
 	"tdram/internal/dramcache"
 	"tdram/internal/experiments"
+	"tdram/internal/obs"
 	"tdram/internal/sim"
 	"tdram/internal/system"
 	"tdram/internal/workload"
@@ -103,6 +104,25 @@ func NewSystemConfig(d Design, wl Workload, cacheBytes uint64) SystemConfig {
 
 // Run executes one full-system simulation.
 func Run(cfg SystemConfig) (*Result, error) { return system.Run(cfg) }
+
+// System is a fully wired machine; use it instead of Run when the run's
+// observer outputs (traces, metrics) are needed afterwards.
+type System = system.System
+
+// NewSystem builds a machine without running it.
+func NewSystem(cfg SystemConfig) (*System, error) { return system.New(cfg) }
+
+// ObsConfig selects observability outputs: Perfetto command tracing
+// and/or periodic metrics sampling (SystemConfig.Obs).
+type ObsConfig = obs.Config
+
+// Observer is the attached observability subsystem of a running system;
+// it writes Chrome/Perfetto traces and sampled time series.
+type Observer = obs.Observer
+
+// ParseTick parses a duration like "500ps", "2.5ns" or "1us" into
+// simulated ticks (for ObsConfig.MetricsInterval and similar knobs).
+func ParseTick(s string) (Tick, error) { return sim.ParseTick(s) }
 
 // Scale selects the reproduction effort (Quick or Full).
 type Scale = experiments.Scale
