@@ -9,7 +9,13 @@
 //	tdbench -scale full              # all 28 workloads (several minutes)
 //	tdbench -exp fig9,tab4           # selected experiments
 //	tdbench -exp flushbuf,setassoc   # standalone studies
+//	tdbench -jobs 4                  # bound the matrix worker pool
 //	tdbench -v                       # per-run progress lines
+//
+// The matrix fans its (design, workload) cells out across -jobs workers
+// (default: GOMAXPROCS); results are bit-identical to a serial run. A
+// failed cell does not abort the sweep: the finished cells still render
+// (reports note the skipped workloads) and tdbench exits nonzero.
 package main
 
 import (
@@ -57,11 +63,18 @@ var matrixOrder = []string{"fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fi
 var standaloneOrder = []string{"predictor", "prefetcher", "flushbuf", "setassoc", "abl-probing", "abl-probe-policy", "abl-flush", "abl-condcol", "abl-pagepolicy"}
 
 func main() {
+	if err := run(); err != nil {
+		fatal(err)
+	}
+}
+
+func run() error {
 	var (
 		scaleName  = flag.String("scale", "quick", "quick (6 workloads) or full (all 28)")
 		expList    = flag.String("exp", "matrix", "comma-separated experiment ids, 'matrix', 'studies', or 'all'")
 		csvDir     = flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
 		jsonOut    = flag.Bool("json", false, "write a machine-readable run summary to BENCH_<timestamp>.json")
+		jobs       = flag.Int("jobs", 0, "matrix cells simulated concurrently (0 = GOMAXPROCS)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		verbose    = flag.Bool("v", false, "print per-run progress")
@@ -71,10 +84,10 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -97,7 +110,7 @@ func main() {
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -108,7 +121,7 @@ func main() {
 	case "full":
 		scale = tdram.FullScale()
 	default:
-		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
 
 	var ids []string
@@ -128,8 +141,8 @@ func main() {
 		if _, ok := matrixExps[id]; ok {
 			needMatrix = true
 		} else if _, ok := standaloneExps[id]; !ok {
-			fatal(fmt.Errorf("unknown experiment %q (known: %s / %s)",
-				id, strings.Join(matrixOrder, ","), strings.Join(standaloneOrder, ",")))
+			return fmt.Errorf("unknown experiment %q (known: %s / %s)",
+				id, strings.Join(matrixOrder, ","), strings.Join(standaloneOrder, ","))
 		}
 	}
 
@@ -144,50 +157,70 @@ func main() {
 	}
 
 	var m *tdram.Matrix
+	var sweepErr error
 	if needMatrix {
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "tdbench: running %d x %d matrix at scale %q...\n",
-			len(scale.Workloads), 7, scale.Name)
+		njobs := *jobs
+		if njobs <= 0 {
+			njobs = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "tdbench: running %d x %d matrix at scale %q with %d jobs...\n",
+			len(scale.Workloads), 7, scale.Name, njobs)
 		var err error
-		m, err = tdram.RunMatrix(scale, progress)
+		m, err = tdram.RunMatrixOpts(scale, tdram.MatrixOptions{Jobs: *jobs, Progress: progress})
 		if err != nil {
-			fatal(err)
+			// Per-cell failures: render whatever completed, exit nonzero.
+			if len(m.Results) == 0 {
+				return err
+			}
+			failed := m.MissingCells()
+			fmt.Fprintf(os.Stderr, "tdbench: WARNING: %d matrix cell(s) failed; rendering the %d completed cells\n",
+				len(failed), len(m.Results))
+			for _, e := range cellErrors(err) {
+				fmt.Fprintf(os.Stderr, "tdbench:   %s\n", firstLine(e.Error()))
+			}
+			sweepErr = fmt.Errorf("%d matrix cell(s) failed", len(failed))
 		}
 		wall := time.Since(start)
 		fmt.Fprintf(os.Stderr, "tdbench: matrix done in %v\n", wall.Round(time.Second))
 		summary.Matrix = matrixSummary(m, wall)
 	}
 
-	emit := func(rep *tdram.Report, wall time.Duration) {
+	emit := func(rep *tdram.Report, wall time.Duration) error {
 		fmt.Println(rep)
 		summary.Experiments = append(summary.Experiments, experimentSummary{
 			ID: rep.ID, Title: rep.Title, WallSeconds: wall.Seconds(),
 			Summary: rep.Summary, PaperClaim: rep.PaperClaim,
 		})
 		if *csvDir == "" {
-			return
+			return nil
 		}
 		if csv := rep.CSV(); csv != "" {
 			path := filepath.Join(*csvDir, rep.ID+".csv")
 			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
-				fatal(err)
+				return err
 			}
 		}
+		return nil
 	}
 
 	for _, id := range ids {
 		if f, ok := matrixExps[id]; ok {
 			start := time.Now()
 			rep := f(m)
-			emit(rep, time.Since(start))
+			if err := emit(rep, time.Since(start)); err != nil {
+				return err
+			}
 			continue
 		}
 		start := time.Now()
 		rep, err := standaloneExps[id](scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		emit(rep, time.Since(start))
+		if err := emit(rep, time.Since(start)); err != nil {
+			return err
+		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "tdbench: %s done in %v\n", id, time.Since(start).Round(time.Second))
 		}
@@ -196,10 +229,26 @@ func main() {
 	if *jsonOut {
 		path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102T150405"))
 		if err := writeSummary(path, summary); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "tdbench: wrote %s\n", path)
 	}
+	return sweepErr
+}
+
+// cellErrors unpacks an errors.Join aggregate into its parts.
+func cellErrors(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
+	}
+	return []error{err}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // benchSummary is the -json output: what ran, how long it took, and the
@@ -230,6 +279,9 @@ type matrixJSON struct {
 	// Per-design aggregates over the matrix workloads.
 	GeomeanSpeedupVsBaseline map[string]float64 `json:"geomean_speedup_vs_cascade_lake"`
 	GeomeanMissRatio         map[string]float64 `json:"geomean_miss_ratio"`
+	// FailedCells lists "workload/design" for cells that error'd or
+	// panicked; the aggregates above cover only completed workloads.
+	FailedCells []string `json:"failed_cells,omitempty"`
 }
 
 func matrixSummary(m *tdram.Matrix, wall time.Duration) *matrixJSON {
@@ -240,6 +292,9 @@ func matrixSummary(m *tdram.Matrix, wall time.Duration) *matrixJSON {
 	}
 	for _, wl := range m.Scale.Workloads {
 		mj.Workloads = append(mj.Workloads, wl.Name)
+	}
+	for _, k := range m.MissingCells() {
+		mj.FailedCells = append(mj.FailedCells, fmt.Sprintf("%s/%v", k.Workload, k.Design))
 	}
 	for _, res := range m.Results {
 		mj.Runs++

@@ -77,29 +77,80 @@ func MatrixDesigns() []dramcache.Design {
 	return append(dramcache.Designs(), dramcache.NoCache)
 }
 
-// RunMatrix executes every (design, workload) cell. The progress
-// callback, when non-nil, receives one line per completed run.
+// RunMatrix executes every (design, workload) cell, fanning cells out
+// across runtime.GOMAXPROCS(0) workers; see RunMatrixOpts for the
+// parallelism knob, the progress-ordering guarantee and the
+// partial-failure semantics. The progress callback, when non-nil,
+// receives one line per completed run, always from a single goroutine.
 func RunMatrix(sc Scale, progress func(string)) (*Matrix, error) {
-	m := &Matrix{Scale: sc, Results: make(map[Key]*system.Result)}
-	for _, wl := range sc.Workloads {
-		for _, d := range MatrixDesigns() {
-			res, err := system.Run(sc.Config(d, wl))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %v: %w", wl.Name, d, err)
-			}
-			m.Results[Key{d, wl.Name}] = res
-			if progress != nil {
-				progress(fmt.Sprintf("%-8s %-12s runtime=%-12v missratio=%.2f",
-					wl.Name, d.String(), res.Runtime, res.Cache.Outcomes.MissRatio()))
-			}
-		}
-	}
-	return m, nil
+	return RunMatrixOpts(sc, MatrixOptions{Progress: progress})
 }
 
-// Get returns one cell.
+// Get returns one cell (nil when the cell failed or never ran).
 func (m *Matrix) Get(d dramcache.Design, wl string) *system.Result {
 	return m.Results[Key{d, wl}]
+}
+
+// CompleteWorkloads returns, in Scale order, the workloads for which
+// every matrix design has a result. The figure/table generators iterate
+// these so a partially failed sweep still renders every finished
+// workload instead of dereferencing a missing cell.
+func (m *Matrix) CompleteWorkloads() []workload.Spec {
+	var out []workload.Spec
+	for _, wl := range m.Scale.Workloads {
+		complete := true
+		for _, d := range MatrixDesigns() {
+			if m.Get(d, wl.Name) == nil {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			out = append(out, wl)
+		}
+	}
+	return out
+}
+
+// MissingCells lists, in sweep order, the (design, workload) cells that
+// have no result.
+func (m *Matrix) MissingCells() []Key {
+	var missing []Key
+	for _, c := range sweepCells(m.Scale) {
+		if m.Get(c.d, c.wl.Name) == nil {
+			missing = append(missing, Key{c.d, c.wl.Name})
+		}
+	}
+	return missing
+}
+
+// incompleteNote names the workloads a report skipped because one of
+// their cells failed; empty when the matrix is complete.
+func (m *Matrix) incompleteNote() string {
+	complete := make(map[string]bool)
+	for _, wl := range m.CompleteWorkloads() {
+		complete[wl.Name] = true
+	}
+	var skipped []string
+	for _, wl := range m.Scale.Workloads {
+		if !complete[wl.Name] {
+			skipped = append(skipped, wl.Name)
+		}
+	}
+	if len(skipped) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("SKIPPED %d workload(s) with failed cells: %s",
+		len(skipped), strings.Join(skipped, ", "))
+}
+
+// report finalizes a figure/table: on a partial matrix it appends the
+// skipped-workload note to the summary.
+func (m *Matrix) report(r *Report) *Report {
+	if note := m.incompleteNote(); note != "" {
+		r.Summary = append(r.Summary, note)
+	}
+	return r
 }
 
 // Report is one regenerated table or figure.
@@ -144,10 +195,12 @@ func AllFromMatrix(m *Matrix) []*Report {
 	}
 }
 
-// geoOver computes the geometric mean of f over the matrix workloads.
+// geoOver computes the geometric mean of f over the workloads whose
+// cells all completed; failed workloads are skipped (and reported by the
+// figures' incomplete note) instead of handing f a nil cell.
 func (m *Matrix) geoOver(f func(wl string) float64) float64 {
 	var vs []float64
-	for _, wl := range m.Scale.Workloads {
+	for _, wl := range m.CompleteWorkloads() {
 		vs = append(vs, f(wl.Name))
 	}
 	return stats.GeoMean(vs)

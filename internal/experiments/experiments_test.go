@@ -9,7 +9,10 @@ import (
 	"tdram/internal/workload"
 )
 
-// The quick matrix takes a while to compute; share it across tests.
+// The quick matrix takes a while to compute; share it across tests. It
+// runs with an 8-wide worker pool: every figure test then doubles as a
+// check of the parallel runner, and the determinism test in
+// runner_test.go compares it cell-for-cell against a serial sweep.
 var (
 	matrixOnce sync.Once
 	matrix     *Matrix
@@ -19,7 +22,7 @@ var (
 func quickMatrix(t *testing.T) *Matrix {
 	t.Helper()
 	matrixOnce.Do(func() {
-		matrix, matrixErr = RunMatrix(Quick(), nil)
+		matrix, matrixErr = RunMatrixOpts(Quick(), MatrixOptions{Jobs: 8})
 	})
 	if matrixErr != nil {
 		t.Fatal(matrixErr)

@@ -20,7 +20,7 @@ func Fig1(m *Matrix) *Report {
 	t := stats.NewTable("workload", "rd-hit", "rd-miss-cln", "rd-miss-dty",
 		"wr-hit", "wr-miss-cln", "wr-miss-dty", "miss-ratio", "band", "band-ok")
 	bandsOK := true
-	for _, wl := range m.Scale.Workloads {
+	for _, wl := range m.CompleteWorkloads() {
 		r := m.Get(dramcache.CascadeLake, wl.Name)
 		fr := r.Cache.Outcomes.Fractions()
 		mr := r.Cache.Outcomes.MissRatio()
@@ -32,7 +32,7 @@ func Fig1(m *Matrix) *Report {
 			fr[mem.WriteHit], fr[mem.WriteMissClean], fr[mem.WriteMissDirty], mr,
 			wl.Band.String(), ok)
 	}
-	return &Report{
+	return m.report(&Report{
 		ID:    "fig1",
 		Title: "DRAM cache hit/miss breakdown per workload",
 		Table: t,
@@ -40,7 +40,7 @@ func Fig1(m *Matrix) *Report {
 			fmt.Sprintf("all workloads in their Fig.1 band: %v", bandsOK),
 		},
 		PaperClaim: "workloads split into a <30% and a >50% miss-ratio group, nothing in between",
-	}
+	})
 }
 
 // Fig2 reproduces the read queueing delay of the tags-with-data designs
@@ -49,7 +49,7 @@ func Fig2(m *Matrix) *Report {
 	t := stats.NewTable("workload", "no-cache(ddr5)", "cascade-lake", "alloy", "bear")
 	designs := []dramcache.Design{dramcache.CascadeLake, dramcache.Alloy, dramcache.BEAR}
 	higher := 0
-	for _, wl := range m.Scale.Workloads {
+	for _, wl := range m.CompleteWorkloads() {
 		base := m.Get(dramcache.NoCache, wl.Name).MM.ReadQueueing.Value()
 		row := []any{wl.Name, base}
 		for _, d := range designs {
@@ -61,8 +61,11 @@ func Fig2(m *Matrix) *Report {
 		}
 		t.AddRow(row...)
 	}
-	frac := float64(higher) / float64(len(m.Scale.Workloads)*len(designs))
-	return &Report{
+	frac := 0.0
+	if n := len(m.CompleteWorkloads()) * len(designs); n > 0 {
+		frac = float64(higher) / float64(n)
+	}
+	return m.report(&Report{
 		ID:    "fig2",
 		Title: "Average queueing delay of DRAM reads (ns), cache designs vs main-memory-only",
 		Table: t,
@@ -73,7 +76,7 @@ func Fig2(m *Matrix) *Report {
 			"this comparison on high-miss workloads; see EXPERIMENTS.md",
 		},
 		PaperClaim: "bars are higher in the DRAM cache systems than in the system without a DRAM cache",
-	}
+	})
 }
 
 // Fig3 reproduces the useful/unuseful bandwidth decomposition of the
@@ -81,7 +84,7 @@ func Fig2(m *Matrix) *Report {
 func Fig3(m *Matrix) *Report {
 	t := stats.NewTable("workload", "cl-unuseful", "alloy-unuseful", "bear-unuseful")
 	var cl, al, be []float64
-	for _, wl := range m.Scale.Workloads {
+	for _, wl := range m.CompleteWorkloads() {
 		c := m.Get(dramcache.CascadeLake, wl.Name).Cache.Traffic.UnusefulFraction()
 		a := m.Get(dramcache.Alloy, wl.Name).Cache.Traffic.UnusefulFraction()
 		b := m.Get(dramcache.BEAR, wl.Name).Cache.Traffic.UnusefulFraction()
@@ -89,13 +92,16 @@ func Fig3(m *Matrix) *Report {
 		t.AddRow(wl.Name, c, a, b)
 	}
 	mean := func(vs []float64) float64 {
+		if len(vs) == 0 {
+			return 0
+		}
 		s := 0.0
 		for _, v := range vs {
 			s += v
 		}
 		return s / float64(len(vs))
 	}
-	return &Report{
+	return m.report(&Report{
 		ID:    "fig3",
 		Title: "Unuseful share of DRAM-cache bus traffic (discarded tag-read data + over-fetch)",
 		Table: t,
@@ -104,13 +110,13 @@ func Fig3(m *Matrix) *Report {
 				mean(cl), mean(al), mean(be)),
 		},
 		PaperClaim: "wasted movement significant in many workloads; Alloy/BEAR's 80B bursts increase it; BEAR removes the write-hit share",
-	}
+	})
 }
 
 // Fig9 reproduces the tag-check latency comparison.
 func Fig9(m *Matrix) *Report {
 	t := stats.NewTable("workload", "cascade-lake", "alloy", "bear", "ndc", "tdram", "ideal")
-	for _, wl := range m.Scale.Workloads {
+	for _, wl := range m.CompleteWorkloads() {
 		row := []any{wl.Name}
 		for _, d := range append(compared, dramcache.Ideal) {
 			row = append(row, m.Get(d, wl.Name).Cache.TagCheck.Value())
@@ -126,7 +132,7 @@ func Fig9(m *Matrix) *Report {
 			return m.Get(d, wl).Cache.TagCheck.Value() / td
 		})
 	}
-	return &Report{
+	return m.report(&Report{
 		ID:    "fig9",
 		Title: "Tag check latency (ns), lower is better",
 		Table: t,
@@ -136,7 +142,7 @@ func Fig9(m *Matrix) *Report {
 				ratio(dramcache.BEAR), ratio(dramcache.NDC)),
 		},
 		PaperClaim: "TDRAM's tag check is 2.6x/2.65x/2x/1.82x faster than Cascade Lake/Alloy/BEAR/NDC",
-	}
+	})
 }
 
 // Fig10 reproduces the read-buffer queueing delay per design.
@@ -144,7 +150,7 @@ func Fig10(m *Matrix) *Report {
 	t := stats.NewTable("workload", "cascade-lake", "alloy", "bear", "ndc", "tdram")
 	wins := 0
 	cells := 0
-	for _, wl := range m.Scale.Workloads {
+	for _, wl := range m.CompleteWorkloads() {
 		row := []any{wl.Name}
 		td := m.Get(dramcache.TDRAM, wl.Name).Cache.ReadQueueing.Value()
 		for _, d := range compared {
@@ -168,7 +174,7 @@ func Fig10(m *Matrix) *Report {
 			return m.Get(d, wl).Cache.ReadQueueing.Value() / td
 		})
 	}
-	return &Report{
+	return m.report(&Report{
 		ID:    "fig10",
 		Title: "Average queueing delay in the read buffer (ns), lower is better",
 		Table: t,
@@ -179,14 +185,14 @@ func Fig10(m *Matrix) *Report {
 				ratio(dramcache.BEAR), ratio(dramcache.NDC)),
 		},
 		PaperClaim: "TDRAM's queueing delay is shorter than all the prior designs",
-	}
+	})
 }
 
 // Fig11 reproduces the speedup normalized to Cascade Lake.
 func Fig11(m *Matrix) *Report {
 	t := stats.NewTable("workload", "alloy", "bear", "ndc", "tdram", "ideal")
 	designs := []dramcache.Design{dramcache.Alloy, dramcache.BEAR, dramcache.NDC, dramcache.TDRAM, dramcache.Ideal}
-	for _, wl := range m.Scale.Workloads {
+	for _, wl := range m.CompleteWorkloads() {
 		base := float64(m.Get(dramcache.CascadeLake, wl.Name).Runtime)
 		row := []any{wl.Name}
 		for _, d := range designs {
@@ -199,7 +205,7 @@ func Fig11(m *Matrix) *Report {
 			return float64(m.Get(d, wl).Runtime) / float64(m.Get(dramcache.TDRAM, wl).Runtime)
 		})
 	}
-	return &Report{
+	return m.report(&Report{
 		ID:    "fig11",
 		Title: "Speedup normalized to Cascade Lake, higher is better",
 		Table: t,
@@ -210,13 +216,13 @@ func Fig11(m *Matrix) *Report {
 				1/speedup(dramcache.Ideal)),
 		},
 		PaperClaim: "TDRAM: 1.20x vs Cascade Lake, 1.23x vs Alloy, 1.13x vs BEAR, 1.08x vs NDC; close to Ideal",
-	}
+	})
 }
 
 // Fig12 reproduces the speedup normalized to the main-memory-only system.
 func Fig12(m *Matrix) *Report {
 	t := stats.NewTable("workload", "cascade-lake", "alloy", "bear", "ndc", "tdram")
-	for _, wl := range m.Scale.Workloads {
+	for _, wl := range m.CompleteWorkloads() {
 		base := float64(m.Get(dramcache.NoCache, wl.Name).Runtime)
 		row := []any{wl.Name}
 		for _, d := range compared {
@@ -229,7 +235,7 @@ func Fig12(m *Matrix) *Report {
 			return float64(m.Get(dramcache.NoCache, wl).Runtime) / float64(m.Get(d, wl).Runtime)
 		})
 	}
-	return &Report{
+	return m.report(&Report{
 		ID:    "fig12",
 		Title: "Speedup normalized to the system without a DRAM cache",
 		Table: t,
@@ -239,7 +245,7 @@ func Fig12(m *Matrix) *Report {
 				geo(dramcache.NDC), geo(dramcache.TDRAM)),
 		},
 		PaperClaim: "Cascade Lake/Alloy/BEAR slow down 8%/10%/2%; NDC 1.03x; TDRAM 1.11x",
-	}
+	})
 }
 
 // Tab4 reproduces the bandwidth-bloat factors by miss band.
@@ -247,7 +253,7 @@ func Tab4(m *Matrix) *Report {
 	t := stats.NewTable("design", "low-miss", "high-miss")
 	bloat := func(d dramcache.Design, band string) float64 {
 		var vs []float64
-		for _, wl := range m.Scale.Workloads {
+		for _, wl := range m.CompleteWorkloads() {
 			if wl.Band.String() != band {
 				continue
 			}
@@ -268,7 +274,7 @@ func Tab4(m *Matrix) *Report {
 		}
 		return (vals[d] - vals[dramcache.TDRAM]) / vals[d] * 100
 	}
-	return &Report{
+	return m.report(&Report{
 		ID:    "tab4",
 		Title: "Bandwidth bloat factor (bytes moved per 64 demand bytes), geomean per band",
 		Table: t,
@@ -281,7 +287,7 @@ func Tab4(m *Matrix) *Report {
 				red(dramcache.BEAR, lows), red(dramcache.NDC, lows)),
 		},
 		PaperClaim: "low band: CL 1.35, Alloy 1.68, BEAR 1.41, NDC/TDRAM 1.13; high band: 2.75/3.43/2.40/2.06; reductions 25.1%/39.9%/19.85%/0% (high)",
-	}
+	})
 }
 
 // Fig13 reproduces the relative energy comparison. The paper's power
@@ -295,7 +301,7 @@ func Fig13(m *Matrix) *Report {
 		base := m.Get(dramcache.CascadeLake, wl).Energy.Cache.Total()
 		return m.Get(d, wl).Energy.Cache.Total() / base
 	}
-	for _, wl := range m.Scale.Workloads {
+	for _, wl := range m.CompleteWorkloads() {
 		t.AddRow(wl.Name, rel(dramcache.BEAR, wl.Name), rel(dramcache.NDC, wl.Name), rel(dramcache.TDRAM, wl.Name))
 	}
 	geo := func(d dramcache.Design) float64 {
@@ -307,7 +313,7 @@ func Fig13(m *Matrix) *Report {
 	tdSystem := m.geoOver(func(wl string) float64 {
 		return m.Get(dramcache.TDRAM, wl).Energy.Total() / m.Get(dramcache.CascadeLake, wl).Energy.Total()
 	})
-	return &Report{
+	return m.report(&Report{
 		ID:    "fig13",
 		Title: "Relative memory-system energy, normalized to Cascade Lake (lower is better)",
 		Table: t,
@@ -321,5 +327,5 @@ func Fig13(m *Matrix) *Report {
 				(1-tdSystem)*100),
 		},
 		PaperClaim: "TDRAM saves 21% vs Cascade Lake and 12% vs BEAR; Alloy is much higher than Cascade Lake; NDC ~= TDRAM",
-	}
+	})
 }

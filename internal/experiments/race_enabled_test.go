@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build;
+// the determinism test trims its matrix under race so the package fits
+// the go test timeout (instrumented simulations run ~10x slower).
+const raceEnabled = true

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+
+	"tdram/internal/dramcache"
+	"tdram/internal/system"
+	"tdram/internal/workload"
+)
+
+// MatrixOptions configures a matrix sweep.
+type MatrixOptions struct {
+	// Jobs bounds how many (design, workload) cells simulate concurrently.
+	// Zero or negative selects runtime.GOMAXPROCS(0). Every cell runs on
+	// its own sim.Simulator with its own workload RNG state, so results
+	// are bit-identical whatever Jobs is.
+	Jobs int
+
+	// Progress, when non-nil, receives one line per completed cell. It is
+	// invoked from a single goroutine (the RunMatrixOpts caller's), in the
+	// same workload-major cell order as a serial sweep regardless of which
+	// worker finishes first, so the output of two runs can be diffed.
+	Progress func(string)
+}
+
+// CellError records the failure of one (design, workload) cell of a
+// matrix sweep. RunMatrixOpts aggregates them with errors.Join; callers
+// can recover the failed coordinates with errors.As.
+type CellError struct {
+	Design   dramcache.Design
+	Workload string
+	Err      error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("cell %s/%v: %v", e.Workload, e.Design, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// runCell executes one cell; tests replace it to inject faults.
+var runCell = func(cfg system.Config) (*system.Result, error) {
+	return system.Run(cfg)
+}
+
+// runCellSafe converts a panicking simulation into a per-cell error so one
+// broken cell cannot take down the rest of the sweep (or the finished
+// part of it).
+func runCellSafe(cfg system.Config) (res *system.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return runCell(cfg)
+}
+
+// cell is one (workload, design) coordinate in sweep order.
+type cell struct {
+	wl workload.Spec
+	d  dramcache.Design
+}
+
+// sweepCells enumerates the matrix in the canonical workload-major order
+// every progress stream and failure report uses.
+func sweepCells(sc Scale) []cell {
+	var cells []cell
+	for _, wl := range sc.Workloads {
+		for _, d := range MatrixDesigns() {
+			cells = append(cells, cell{wl, d})
+		}
+	}
+	return cells
+}
+
+// RunMatrixOpts executes every (design, workload) cell of the sweep, up
+// to opts.Jobs cells at a time. A failed cell (error or panic) does not
+// abort the sweep: the remaining cells still run, the returned Matrix
+// holds every completed cell, and the error joins one CellError per
+// failure. The Matrix is always non-nil.
+func RunMatrixOpts(sc Scale, opts MatrixOptions) (*Matrix, error) {
+	cells := sweepCells(sc)
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(cells) {
+		jobs = len(cells)
+	}
+
+	// Workers pull cell indices and publish into per-cell slots; the
+	// caller's goroutine drains the slots in sweep order, so Matrix
+	// assembly and the Progress callback are single-threaded and the
+	// progress stream is deterministic.
+	results := make([]*system.Result, len(cells))
+	errs := make([]error, len(cells))
+	done := make([]chan struct{}, len(cells))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cells[i]
+				res, err := runCellSafe(sc.Config(c.d, c.wl))
+				if err != nil {
+					err = &CellError{Design: c.d, Workload: c.wl.Name, Err: err}
+					res = nil
+				}
+				results[i], errs[i] = res, err
+				close(done[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range cells {
+			next <- i
+		}
+		close(next)
+	}()
+
+	m := &Matrix{Scale: sc, Results: make(map[Key]*system.Result, len(cells))}
+	var cellErrs []error
+	for i, c := range cells {
+		<-done[i]
+		if err := errs[i]; err != nil {
+			cellErrs = append(cellErrs, err)
+			if opts.Progress != nil {
+				opts.Progress(fmt.Sprintf("%-8s %-12s FAILED: %s",
+					c.wl.Name, c.d.String(), firstLine(errors.Unwrap(err).Error())))
+			}
+			continue
+		}
+		res := results[i]
+		m.Results[Key{c.d, c.wl.Name}] = res
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%-8s %-12s runtime=%-12v missratio=%.2f",
+				c.wl.Name, c.d.String(), res.Runtime, res.Cache.Outcomes.MissRatio()))
+		}
+	}
+	wg.Wait()
+	return m, errors.Join(cellErrs...)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

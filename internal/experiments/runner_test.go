@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tdram/internal/dramcache"
+	"tdram/internal/sim"
+	"tdram/internal/system"
+)
+
+// fakeRunCell installs a runCell stub for the duration of the test, so
+// runner-machinery tests don't pay for real simulations. The stub result
+// is a pure function of the cell so any schedule yields the same matrix.
+func fakeRunCell(t *testing.T, fn func(cfg system.Config) (*system.Result, error)) {
+	t.Helper()
+	old := runCell
+	runCell = fn
+	t.Cleanup(func() { runCell = old })
+}
+
+func fakeResult(cfg system.Config) *system.Result {
+	return &system.Result{
+		Design:   cfg.Cache.Design,
+		Workload: cfg.Workload.Name,
+		Runtime:  sim.Tick(1000 + 13*sim.Tick(len(cfg.Workload.Name))),
+		Accesses: uint64(cfg.Cores * cfg.RequestsPerCore),
+	}
+}
+
+// TestMatrixParallelDeterminism asserts the acceptance criterion: a
+// jobs=8 sweep is bit-identical — per-cell Result statistics and every
+// rendered report/CSV — to a jobs=1 sweep at the Quick scale. Under the
+// race detector the comparison runs on a trimmed matrix (one workload
+// per band, fewer requests) so the package fits the go test timeout;
+// the full Quick-scale comparison still runs in every non-race pass.
+func TestMatrixParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serial quick matrix in -short mode")
+	}
+	var par, ser *Matrix
+	var err error
+	if raceEnabled {
+		sc := Quick()
+		sc.Workloads = sc.studySubset(2)
+		sc.RequestsPerCore = 1000
+		sc.WarmupPerCore = 200
+		if par, err = RunMatrixOpts(sc, MatrixOptions{Jobs: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if ser, err = RunMatrixOpts(sc, MatrixOptions{Jobs: 1}); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		par = quickMatrix(t) // jobs=8 (see experiments_test.go)
+		if ser, err = RunMatrixOpts(Quick(), MatrixOptions{Jobs: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ser.Results) != len(par.Results) {
+		t.Fatalf("cell count: serial %d, parallel %d", len(ser.Results), len(par.Results))
+	}
+	for k, sr := range ser.Results {
+		pr := par.Results[k]
+		if pr == nil {
+			t.Fatalf("%s/%v: missing from parallel matrix", k.Workload, k.Design)
+		}
+		if !reflect.DeepEqual(sr, pr) {
+			t.Errorf("%s/%v: serial and parallel results differ:\nserial   %+v\nparallel %+v",
+				k.Workload, k.Design, sr, pr)
+		}
+	}
+	serReps, parReps := AllFromMatrix(ser), AllFromMatrix(par)
+	for i := range serReps {
+		if s, p := serReps[i].String(), parReps[i].String(); s != p {
+			t.Errorf("%s: rendered report differs between serial and parallel runs", serReps[i].ID)
+		}
+		if s, p := serReps[i].CSV(), parReps[i].CSV(); s != p {
+			t.Errorf("%s: CSV differs between serial and parallel runs", serReps[i].ID)
+		}
+	}
+}
+
+// TestMatrixFaultIsolation injects a panicking cell and asserts the
+// sweep completes every other cell, reports the failure as a CellError,
+// and still renders reports over the surviving workloads.
+func TestMatrixFaultIsolation(t *testing.T) {
+	sc := Quick()
+	bad := Key{dramcache.TDRAM, sc.Workloads[1].Name}
+	fakeRunCell(t, func(cfg system.Config) (*system.Result, error) {
+		if cfg.Cache.Design == bad.Design && cfg.Workload.Name == bad.Workload {
+			panic("injected cell failure")
+		}
+		return fakeResult(cfg), nil
+	})
+
+	m, err := RunMatrixOpts(sc, MatrixOptions{Jobs: 4})
+	if err == nil {
+		t.Fatal("no error from a sweep with a panicking cell")
+	}
+	var cerr *CellError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("error %T does not unwrap to *CellError: %v", err, err)
+	}
+	if cerr.Design != bad.Design || cerr.Workload != bad.Workload {
+		t.Errorf("CellError names %s/%v, want %s/%v", cerr.Workload, cerr.Design, bad.Workload, bad.Design)
+	}
+	if !strings.Contains(cerr.Err.Error(), "injected cell failure") {
+		t.Errorf("CellError lost the panic value: %v", cerr.Err)
+	}
+
+	want := len(sc.Workloads)*len(MatrixDesigns()) - 1
+	if len(m.Results) != want {
+		t.Errorf("completed cells = %d, want %d (all but the injected failure)", len(m.Results), want)
+	}
+	if m.Get(bad.Design, bad.Workload) != nil {
+		t.Error("failed cell present in the matrix")
+	}
+	if missing := m.MissingCells(); len(missing) != 1 || missing[0] != bad {
+		t.Errorf("MissingCells = %v, want [%v]", missing, bad)
+	}
+	complete := m.CompleteWorkloads()
+	if len(complete) != len(sc.Workloads)-1 {
+		t.Errorf("CompleteWorkloads = %d, want %d", len(complete), len(sc.Workloads)-1)
+	}
+	for _, wl := range complete {
+		if wl.Name == bad.Workload {
+			t.Errorf("%s complete despite its failed cell", wl.Name)
+		}
+	}
+	// Reports must render from the partial matrix (no nil dereference)
+	// and name the skipped workload.
+	for _, rep := range AllFromMatrix(m) {
+		s := rep.String()
+		if !strings.Contains(s, "SKIPPED 1 workload") || !strings.Contains(s, bad.Workload) {
+			t.Errorf("%s: partial-matrix report does not name the skipped workload:\n%s", rep.ID, s)
+		}
+	}
+}
+
+// TestMatrixAllCellsFail asserts a sweep where everything fails returns
+// an empty-but-usable matrix and one CellError per cell.
+func TestMatrixAllCellsFail(t *testing.T) {
+	fakeRunCell(t, func(cfg system.Config) (*system.Result, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	sc := Quick()
+	m, err := RunMatrixOpts(sc, MatrixOptions{Jobs: 3})
+	if err == nil {
+		t.Fatal("no error from an all-failing sweep")
+	}
+	if len(m.Results) != 0 {
+		t.Errorf("results = %d, want 0", len(m.Results))
+	}
+	cells := len(sc.Workloads) * len(MatrixDesigns())
+	if missing := m.MissingCells(); len(missing) != cells {
+		t.Errorf("MissingCells = %d, want %d", len(missing), cells)
+	}
+	if got := m.geoOver(func(string) float64 { t.Error("geoOver visited a workload"); return 1 }); got != 0 {
+		t.Errorf("geoOver over empty matrix = %v, want 0", got)
+	}
+}
+
+// TestMatrixProgressOrdering asserts the progress stream is serialized
+// and deterministic: a wide pool with scrambled completion times must
+// emit exactly the serial sweep's lines, in the serial sweep's order.
+func TestMatrixProgressOrdering(t *testing.T) {
+	sc := Quick()
+	fakeRunCell(t, func(cfg system.Config) (*system.Result, error) {
+		// Scramble completion order so in-order draining is actually
+		// exercised rather than happening by accident.
+		time.Sleep(time.Duration((int(cfg.Cache.Design)*7+len(cfg.Workload.Name))%5) * time.Millisecond)
+		return fakeResult(cfg), nil
+	})
+
+	collect := func(jobs int) []string {
+		var lines []string
+		if _, err := RunMatrixOpts(sc, MatrixOptions{
+			Jobs:     jobs,
+			Progress: func(s string) { lines = append(lines, s) },
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return lines
+	}
+	serial := collect(1)
+	parallel := collect(8)
+	if len(serial) != len(sc.Workloads)*len(MatrixDesigns()) {
+		t.Fatalf("serial progress lines = %d", len(serial))
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("progress streams differ:\nserial:   %q\nparallel: %q", serial, parallel)
+	}
+	// Lines are in workload-major sweep order.
+	i := 0
+	for _, wl := range sc.Workloads {
+		for _, d := range MatrixDesigns() {
+			if !strings.HasPrefix(serial[i], fmt.Sprintf("%-8s %-12s", wl.Name, d.String())) {
+				t.Fatalf("line %d = %q, want %s/%v", i, serial[i], wl.Name, d)
+			}
+			i++
+		}
+	}
+}

@@ -7,6 +7,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
+	"strconv"
 )
 
 // Tick is a point in simulated time, measured in picoseconds. Picosecond
@@ -57,9 +59,15 @@ func ParseTick(s string) (Tick, error) {
 		if n <= 0 || s[n:] != u.suffix {
 			continue
 		}
-		var v float64
-		if _, err := fmt.Sscanf(s[:n], "%g", &v); err != nil {
+		// strconv.ParseFloat consumes the whole numeric prefix, so junk
+		// like "1.2.3ns" or "5x7us" is rejected instead of silently
+		// prefix-matching the way fmt.Sscanf("%g") would.
+		v, err := strconv.ParseFloat(s[:n], 64)
+		if err != nil {
 			return 0, fmt.Errorf("sim: bad duration %q: %v", s, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("sim: non-finite duration %q", s)
 		}
 		if v < 0 {
 			return 0, fmt.Errorf("sim: negative duration %q", s)

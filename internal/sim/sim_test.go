@@ -348,3 +348,36 @@ func BenchmarkTimelineReserve(b *testing.B) {
 		}
 	}
 }
+
+func TestParseTick(t *testing.T) {
+	good := []struct {
+		in   string
+		want Tick
+	}{
+		{"500ps", 500},
+		{"2.5ns", 2500},
+		{"1us", Microsecond},
+		{"3ms", 3 * Millisecond},
+		{"0ns", 0},
+		{"1e3ns", Microsecond},
+		{".5ns", 500},
+		{"+2ns", 2000},
+	}
+	for _, c := range good {
+		got, err := ParseTick(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseTick(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	// Junk numeric prefixes used to be silently prefix-matched by
+	// fmt.Sscanf ("1.2.3ns" parsed as 1.2ns); they must now error.
+	bad := []string{
+		"", "ns", "5", "1.2.3ns", "5x7us", "1.2ns3", "0x5zns", "--2ns",
+		"-3ns", "1 ns", "NaNns", "Infus", "-Infms", "1e999ns", "1..ns",
+	}
+	for _, in := range bad {
+		if got, err := ParseTick(in); err == nil {
+			t.Errorf("ParseTick(%q) = %v, want error", in, got)
+		}
+	}
+}

@@ -124,7 +124,12 @@ func (r *Result) Throughput() float64 {
 	return float64(r.Accesses) / (float64(r.Runtime) / float64(sim.Microsecond))
 }
 
-// System is a fully wired machine.
+// System is a fully wired machine. A System owns its event kernel,
+// controller, backing store and cores outright, and no package under it
+// keeps mutable global state (the ecc and workload tables are computed
+// once at init and only read afterwards), so independent Systems may Run
+// concurrently — the parallel matrix runner in internal/experiments
+// depends on this. A single System is not safe for concurrent use.
 type System struct {
 	cfg   Config
 	sim   *sim.Simulator

@@ -140,9 +140,25 @@ type Matrix = experiments.Matrix
 // Report is one regenerated table or figure.
 type Report = experiments.Report
 
-// RunMatrix executes every (design, workload) cell of the evaluation.
+// MatrixOptions configures a matrix sweep: the worker-pool width (Jobs)
+// and the single-threaded, deterministically ordered progress callback.
+type MatrixOptions = experiments.MatrixOptions
+
+// CellError records the failure of one (design, workload) cell; a
+// partially failed RunMatrix returns an errors.Join of these.
+type CellError = experiments.CellError
+
+// RunMatrix executes every (design, workload) cell of the evaluation,
+// fanning cells out across runtime.GOMAXPROCS(0) workers. Results are
+// bit-identical to a serial sweep. On per-cell failures it returns the
+// partial Matrix of completed cells plus the joined CellErrors.
 func RunMatrix(sc Scale, progress func(string)) (*Matrix, error) {
 	return experiments.RunMatrix(sc, progress)
+}
+
+// RunMatrixOpts is RunMatrix with an explicit worker count.
+func RunMatrixOpts(sc Scale, opts MatrixOptions) (*Matrix, error) {
+	return experiments.RunMatrixOpts(sc, opts)
 }
 
 // ReproduceFigures regenerates every matrix-derived artifact (Figs. 1-3,
