@@ -57,10 +57,11 @@ var standaloneExps = map[string]func(tdram.Scale) (*tdram.Report, error){
 	"abl-flush":        tdram.AblationFlushBuffer,
 	"abl-condcol":      tdram.AblationCondColumn,
 	"abl-pagepolicy":   tdram.AblationPagePolicy,
+	"resilience":       tdram.Resilience,
 }
 
 var matrixOrder = []string{"fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "tab4", "fig13"}
-var standaloneOrder = []string{"predictor", "prefetcher", "flushbuf", "setassoc", "abl-probing", "abl-probe-policy", "abl-flush", "abl-condcol", "abl-pagepolicy"}
+var standaloneOrder = []string{"predictor", "prefetcher", "flushbuf", "setassoc", "abl-probing", "abl-probe-policy", "abl-flush", "abl-condcol", "abl-pagepolicy", "resilience"}
 
 func main() {
 	if err := run(); err != nil {
@@ -75,6 +76,9 @@ func run() error {
 		csvDir     = flag.String("csv", "", "also write each experiment's table as <dir>/<id>.csv")
 		jsonOut    = flag.Bool("json", false, "write a machine-readable run summary to BENCH_<timestamp>.json")
 		jobs       = flag.Int("jobs", 0, "matrix cells simulated concurrently (0 = GOMAXPROCS)")
+		faultRate  = flag.Float64("fault-rate", 0, "per-access fault-injection probability applied to every cache run (0 disables)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "fault-injection PRNG seed")
+		watchdog   = flag.String("watchdog", "", "override the scale's no-progress watchdog window (e.g. 10ms; 0 disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		verbose    = flag.Bool("v", false, "print per-run progress")
@@ -122,6 +126,19 @@ func run() error {
 		scale = tdram.FullScale()
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	scale.FaultRate = *faultRate
+	scale.FaultSeed = *faultSeed
+	if *watchdog != "" {
+		if *watchdog == "0" {
+			scale.Watchdog = 0
+		} else {
+			w, err := tdram.ParseTick(*watchdog)
+			if err != nil {
+				return fmt.Errorf("bad -watchdog %q: %v", *watchdog, err)
+			}
+			scale.Watchdog = w
+		}
 	}
 
 	var ids []string

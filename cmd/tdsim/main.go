@@ -49,6 +49,9 @@ func main() {
 		predictor     = flag.Bool("predictor", false, "MAP-I predictor (cascade-lake/alloy only)")
 		flushSize     = flag.Int("flush", 16, "flush/victim buffer entries (tdram/ndc)")
 		seed          = flag.Uint64("seed", 1, "workload PRNG seed")
+		faultRate     = flag.Float64("fault-rate", 0, "per-access fault-injection probability (0 disables)")
+		faultSeed     = flag.Uint64("fault-seed", 1, "fault-injection PRNG seed")
+		watchdog      = flag.String("watchdog", "10ms", "no-progress watchdog window of simulated time (0 disables)")
 		tracePath     = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file")
 		metricsPath   = flag.String("metrics", "", "write sampled time-series metrics (.csv or .json)")
 		metricsEvery  = flag.String("metrics-interval", "1us", "metrics sampling period of simulated time (e.g. 500ns, 1us)")
@@ -105,6 +108,16 @@ func main() {
 		if *predictor {
 			cfg.Cache.UsePredictor = true
 		}
+		if *faultRate > 0 {
+			cfg.Cache.Fault = tdram.FaultConfig{Rate: *faultRate, Seed: *faultSeed}
+		}
+	}
+	if *watchdog != "0" {
+		w, err := tdram.ParseTick(*watchdog)
+		if err != nil {
+			fatal(fmt.Errorf("bad -watchdog %q: %v", *watchdog, err))
+		}
+		cfg.Watchdog = w
 	}
 
 	if *tracePath != "" {
@@ -255,6 +268,10 @@ func printResult(r *tdram.Result) {
 	if r.Cache.PredictorMissStarts > 0 {
 		fmt.Printf("predictor     %d early fetches, accuracy %.2f\n",
 			r.Cache.PredictorMissStarts, r.Cache.PredictorAccuracy)
+	}
+	if f := r.Cache.Fault; f != (tdram.FaultCounters{}) {
+		fmt.Printf("fault         injected=%d corrected=%d detected=%d retried=%d exhausted=%d sets-retired=%d bypassed=%d victims-lost=%d\n",
+			f.Injected, f.Corrected, f.Detected, f.Retries, f.Exhausted, f.SetsRetired, f.Bypasses, f.VictimsLost)
 	}
 	fmt.Printf("energy        cache %.3f mJ + main %.3f mJ = %.3f mJ\n",
 		r.Energy.Cache.Total()*1e3, r.Energy.Main.Total()*1e3, r.Energy.Total()*1e3)

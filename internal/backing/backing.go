@@ -38,6 +38,13 @@ type Memory struct {
 	dev   *dram.Device
 	chans []*channelCtl
 	stats Stats
+
+	// OnReadFree / OnWriteFree, when set, are invoked (via a zero-delay
+	// event, outside the scheduler loop) after a previously full read or
+	// write queue issues a request. Callers that were refused by
+	// Read/Write rearm from these instead of polling.
+	OnReadFree  func()
+	OnWriteFree func()
 }
 
 // New builds the backing store on s with the given device parameters
@@ -168,7 +175,20 @@ func (c *channelCtl) schedule() {
 		}
 
 		r := (*q)[best]
+		wasFull := len(*q) >= QueueDepth
 		*q = append((*q)[:best], (*q)[best+1:]...)
+		if wasFull {
+			// The queue just transitioned from full: wake the free-event
+			// subscriber on a fresh event so its re-offers cannot re-enter
+			// this scheduling loop.
+			cb := c.mem.OnWriteFree
+			if !r.write {
+				cb = c.mem.OnReadFree
+			}
+			if cb != nil {
+				c.mem.sim.Schedule(0, cb)
+			}
+		}
 		op := dram.Op{Kind: dram.OpRead, Bank: r.bank, Row: r.row}
 		if r.write {
 			op.Kind = dram.OpWrite
@@ -220,4 +240,29 @@ func (m *Memory) Pending() (reads, writes int) {
 		writes += len(c.writeQ)
 	}
 	return
+}
+
+// DebugState renders per-channel queue occupancies and the oldest queued
+// request's age — the watchdog's diagnostic dump.
+func (m *Memory) DebugState() string {
+	s := ""
+	now := m.sim.Now()
+	for i, c := range m.chans {
+		oldest := sim.Tick(-1)
+		for _, q := range [][]*mmReq{c.readQ, c.writeQ} {
+			for _, r := range q {
+				if age := now - r.arrive; age > oldest {
+					oldest = age
+				}
+			}
+		}
+		if i > 0 {
+			s += "\n"
+		}
+		s += fmt.Sprintf("  ch%d: readq=%d writeq=%d draining=%v", i, len(c.readQ), len(c.writeQ), c.draining)
+		if oldest >= 0 {
+			s += fmt.Sprintf(" oldest-age=%v", oldest)
+		}
+	}
+	return s
 }

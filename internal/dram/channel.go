@@ -149,6 +149,10 @@ func (c *Channel) Stats() ChannelStats { return c.stats }
 // DQ exposes the data bus (for idle-slot inspection by controllers).
 func (c *Channel) DQ() *DQBus { return c.dq }
 
+// LastCommit reports the time of the most recent committed command
+// (watchdog diagnostics: a stale value pinpoints a silent channel).
+func (c *Channel) LastCommit() sim.Tick { return c.lastCommit }
+
 // refresh performs an all-bank refresh and reschedules itself.
 func (c *Channel) refresh() {
 	now := c.sim.Now()

@@ -57,6 +57,16 @@ type txn struct {
 	predStarted bool
 	predDataAt  sim.Tick
 	tagSaidMiss bool
+
+	// retries counts ECC-triggered re-issues of this transaction.
+	retries uint8
+}
+
+// flushEntry is one victim line parked in the on-die flush buffer,
+// carrying its own ECC retry count.
+type flushEntry struct {
+	line    uint64
+	retries uint8
 }
 
 // chanCtl schedules one cache-device channel: its read and write queues,
@@ -70,7 +80,7 @@ type chanCtl struct {
 	writeQ   []*txn
 	overflow []*txn // fills/writes awaiting write-queue space
 
-	flush []uint64 // victim lines parked in the on-die flush buffer
+	flush []flushEntry // victim lines parked in the on-die flush buffer
 
 	draining bool
 	retryAt  sim.Tick
@@ -420,6 +430,42 @@ func (cc *chanCtl) scheduleRetry(now sim.Tick) {
 		cc.retryAt = 0
 		cc.pass()
 	})
+}
+
+// faultRetry handles a detected (SECDED/RS-uncorrectable) error on t's
+// access: within the per-request budget the transaction re-queues after
+// an exponential command-slot backoff and reports true (the caller must
+// abandon this issue — the tag state was never committed); past the
+// budget it reports false, the error is charged against the set, and the
+// access proceeds with whatever the (corrupt) device returned so the
+// request still completes.
+func (cc *chanCtl) faultRetry(t *txn, iss dram.Issue, write bool) bool {
+	in := cc.ctl.fault
+	if int(t.retries) >= in.RetryBudget() {
+		in.NoteExhausted()
+		cc.ctl.observeFault("exhausted")
+		cc.ctl.recordUncorrectable(t.line)
+		return false
+	}
+	t.retries++
+	in.NoteRetry()
+	cc.ctl.observeFault("retry")
+	at := iss.DataEnd
+	if at < cc.now() {
+		at = cc.now()
+	}
+	backoff := cc.ch.Params().TBURST << (t.retries - 1)
+	cc.ctl.retryingTxns++
+	cc.ctl.sim.ScheduleAt(at+backoff, func() {
+		cc.ctl.retryingTxns--
+		if write {
+			cc.writeQ = append(cc.writeQ, t)
+		} else {
+			cc.readQ = append(cc.readQ, t)
+		}
+		cc.pass()
+	})
+	return true
 }
 
 // issue commits one transaction's device operation and wires its

@@ -2,9 +2,51 @@ package dramcache
 
 import (
 	"tdram/internal/dram"
+	"tdram/internal/fault"
 	"tdram/internal/mem"
 	"tdram/internal/sim"
 )
+
+// readFault rolls the fault-injection sites of a committed read access:
+// the tag-mat readout (RS-protected; tags-with-tag-banks designs only)
+// and the DQ data beats (SECDED-protected). It runs BEFORE tags.access
+// so a retried transaction never commits tag state twice. It reports
+// true when the access must be abandoned for a retry.
+func (cc *chanCtl) readFault(t *txn, iss dram.Issue) bool {
+	in := cc.ctl.fault
+	if cc.tagDevice() && !t.outcomeKnown && in.TagRead() == fault.Detected {
+		return cc.faultRetry(t, iss, false)
+	}
+	if in.DataBeat() == fault.Detected {
+		return cc.faultRetry(t, iss, false)
+	}
+	return false
+}
+
+// hmRetransmit models parity-detected corruption of TDRAM's HM-bus
+// result packets: each corrupted packet is re-sent after tHM. Parity
+// detection is certain, so the result is only delayed, never wrong —
+// and the tag access itself is never redone.
+func (cc *chanCtl) hmRetransmit() sim.Tick {
+	in := cc.ctl.fault
+	if in == nil || cc.cfg().Design != TDRAM {
+		return 0
+	}
+	var d sim.Tick
+	for i := 0; ; i++ {
+		if !in.HMPacket() {
+			return d
+		}
+		if i >= in.RetryBudget() {
+			in.NoteExhausted()
+			cc.ctl.observeFault("hm.exhausted")
+			return d
+		}
+		in.NoteRetry()
+		cc.ctl.observeFault("hm.resend")
+		d += cc.ch.Params().THM
+	}
+}
 
 // tagDoneAt reports when the hit/miss result of a committed access is
 // available at the controller: on the HM bus for TDRAM (§III-D1), with
@@ -45,6 +87,9 @@ func (cc *chanCtl) meterColWrite() {
 func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
 	cfg := cc.cfg()
 	tr := &cc.st().Traffic
+	if cc.ctl.fault != nil && cc.readFault(t, iss) {
+		return
+	}
 	cc.st().ReadQueueing.AddTick(iss.At - t.arrive)
 
 	if t.outcomeKnown {
@@ -90,7 +135,7 @@ func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
 	if cc.ctl.predictor != nil {
 		cc.ctl.predictor.Update(t.req.Core, t.line, outcome.IsHit())
 	}
-	tagAt := cc.tagDoneAt(iss)
+	tagAt := cc.tagDoneAt(iss) + cc.hmRetransmit()
 	cc.observeOutcome(outcome, tagAt)
 	cc.recordTag(t, tagAt)
 
@@ -182,6 +227,9 @@ func (cc *chanCtl) completeReadAt(req *mem.Request, at sim.Tick) {
 func (cc *chanCtl) issueWriteTagRead(t *txn, iss dram.Issue) {
 	cfg := cc.cfg()
 	tr := &cc.st().Traffic
+	if cc.ctl.fault != nil && cc.ctl.fault.DataBeat() == fault.Detected && cc.faultRetry(t, iss, false) {
+		return
+	}
 	cc.st().ReadQueueing.AddTick(iss.At - t.arrive)
 	outcome, victim, _ := cc.ctl.tags.access(t.line, true, true)
 	cc.st().Outcomes.Add(outcome)
@@ -224,12 +272,18 @@ func (cc *chanCtl) issueWrite(t *txn, iss dram.Issue) {
 	cfg := cc.cfg()
 	tr := &cc.st().Traffic
 	if !t.outcomeKnown {
-		// NDC/TDRAM ActWr: the tag check happens in-DRAM at commit.
+		// NDC/TDRAM ActWr: the tag check happens in-DRAM at commit. A
+		// detected tag-mat error retries the whole ActWr (the compare,
+		// hence the conditional write, cannot be trusted).
+		if cc.ctl.fault != nil && cc.ctl.fault.TagRead() == fault.Detected && cc.faultRetry(t, iss, true) {
+			return
+		}
 		outcome, victim, _ := cc.ctl.tags.access(t.line, true, true)
 		t.outcome, t.outcomeKnown = outcome, true
 		cc.st().Outcomes.Add(outcome)
-		cc.observeOutcome(outcome, cc.tagDoneAt(iss))
-		cc.recordTag(t, cc.tagDoneAt(iss))
+		tagAt := cc.tagDoneAt(iss) + cc.hmRetransmit()
+		cc.observeOutcome(outcome, tagAt)
+		cc.recordTag(t, tagAt)
 		if outcome == mem.WriteMissDirty {
 			// The displaced dirty line moves into the flush buffer with
 			// an internal read — no DQ turnaround (§III-D2).
@@ -255,6 +309,9 @@ func (cc *chanCtl) issueFill(t *txn, iss dram.Issue) {
 // issueVictimRead fetches a dirty victim's data (Ideal design).
 func (cc *chanCtl) issueVictimRead(t *txn, iss dram.Issue) {
 	cfg := cc.cfg()
+	if cc.ctl.fault != nil && cc.ctl.fault.DataBeat() == fault.Detected && cc.faultRetry(t, iss, false) {
+		return
+	}
 	cc.st().ReadQueueing.AddTick(iss.At - t.arrive)
 	cc.meterColRead()
 	cc.st().Traffic.VictimBytes += 64
@@ -269,6 +326,9 @@ func (cc *chanCtl) issueVictimRead(t *txn, iss dram.Issue) {
 
 // dispatchFill enqueues the fill write for a line on its home channel.
 func (c *Controller) dispatchFill(line uint64) {
+	if c.fault != nil && c.tags.isRetired(line) {
+		return // the set was retired while the fetch was in flight
+	}
 	chIdx, bank := c.dev.Route(line)
 	c.chans[chIdx].enqueueFill(line, bank)
 }
@@ -314,7 +374,8 @@ func (cc *chanCtl) tryProbe(now sim.Tick) bool {
 		cc.ctl.markInflight(pick.line)
 	}
 	t := pick
-	cc.ctl.sim.ScheduleAt(iss.HMAt, func() { cc.probeResult(t, iss.HMAt) })
+	hmAt := iss.HMAt + cc.hmRetransmit()
+	cc.ctl.sim.ScheduleAt(hmAt, func() { cc.probeResult(t, hmAt) })
 	return true
 }
 
@@ -355,8 +416,7 @@ func (cc *chanCtl) probeResult(t *txn, at sim.Tick) {
 			cc.ctl.retryUpstream()
 		}
 		if !cc.ctl.mm.Read(line, done) {
-			cc.ctl.mmReadWait = append(cc.ctl.mmReadWait, pendingMM{line: line, done: done})
-			cc.ctl.pumpMMReads()
+			cc.ctl.parkMMRead(pendingMM{line: line, done: done})
 		}
 		cc.pass()
 	}
@@ -364,12 +424,38 @@ func (cc *chanCtl) probeResult(t *txn, at sim.Tick) {
 
 // pushFlush parks a dirty victim in the flush buffer.
 func (cc *chanCtl) pushFlush(victim uint64) {
-	cc.flush = append(cc.flush, victim)
+	cc.flush = append(cc.flush, flushEntry{line: victim})
 	cc.st().FlushOccupancy.Add(float64(len(cc.flush)))
 	if len(cc.flush) > cc.st().FlushMax {
 		cc.st().FlushMax = len(cc.flush)
 	}
 	cc.observeFlushFill()
+}
+
+// popFlush reads out the head flush-buffer entry, rolling its SECDED
+// fault site. ok=false means the drain slot produced nothing: either a
+// detected error left the entry parked for a later retry, or (budget
+// exhausted) the victim was dropped — a lost writeback, counted but not
+// charged to set retirement (the flush buffer is controller-edge SRAM,
+// not a tag mat).
+func (cc *chanCtl) popFlush() (line uint64, ok bool) {
+	e := &cc.flush[0]
+	if in := cc.ctl.fault; in != nil && in.FlushEntry() == fault.Detected {
+		if int(e.retries) >= in.RetryBudget() {
+			cc.flush = cc.flush[1:]
+			in.NoteExhausted()
+			in.NoteVictimLost()
+			cc.ctl.observeFault("flush.lost")
+			return 0, false
+		}
+		e.retries++
+		in.NoteRetry()
+		cc.ctl.observeFault("flush.retry")
+		return 0, false
+	}
+	line = e.line
+	cc.flush = cc.flush[1:]
+	return line, true
 }
 
 // drainIdleSlot uses a read-miss-clean's unused DQ slot to move one
@@ -378,8 +464,10 @@ func (cc *chanCtl) drainIdleSlot(at sim.Tick) {
 	if len(cc.flush) == 0 {
 		return
 	}
-	line := cc.flush[0]
-	cc.flush = cc.flush[1:]
+	line, ok := cc.popFlush()
+	if !ok {
+		return
+	}
 	cc.st().FlushDrainIdleSlot++
 	cc.observeFlushDrain("idle-slot")
 	cc.st().Traffic.VictimBytes += 64
@@ -392,8 +480,10 @@ func (cc *chanCtl) drainIdleSlot(at sim.Tick) {
 func (cc *chanCtl) refreshDrain(start, end sim.Tick) {
 	slots := int((end - start) / cc.ch.Params().TBURST)
 	for i := 0; i < slots && len(cc.flush) > 0; i++ {
-		line := cc.flush[0]
-		cc.flush = cc.flush[1:]
+		line, ok := cc.popFlush()
+		if !ok {
+			continue // the slot is spent either way
+		}
 		cc.st().FlushDrainRefresh++
 		cc.observeFlushDrain("refresh")
 		cc.st().Traffic.VictimBytes += 64
@@ -427,8 +517,10 @@ func (cc *chanCtl) tryExplicitDrain(now sim.Tick) bool {
 		return false
 	}
 	cc.ch.Commit(op, now)
-	line := cc.flush[0]
-	cc.flush = cc.flush[1:]
+	line, ok := cc.popFlush()
+	if !ok {
+		return true // the command slot was spent regardless
+	}
 	cc.st().FlushDrainExplicit++
 	cc.observeFlushDrain("explicit")
 	if cc.cfg().Design == TDRAM {

@@ -3,6 +3,7 @@ package dramcache
 import (
 	"fmt"
 
+	"tdram/internal/fault"
 	"tdram/internal/sim"
 )
 
@@ -125,6 +126,11 @@ type Config struct {
 	// for the tags-with-data designs: TDRAM's and NDC's lockstep
 	// commands are defined with auto-precharge.
 	OpenPage bool
+
+	// Fault configures deterministic fault injection (internal/fault).
+	// The zero value disables it; disabled runs are bit-identical to
+	// builds without the subsystem. Ignored for NoCache.
+	Fault fault.Config
 }
 
 // DefaultConfig returns the paper's configuration of the given design
@@ -181,6 +187,10 @@ func (c *Config) Validate() error {
 	}
 	if c.OpenPage && (c.Design == TDRAM || c.Design == NDC) {
 		return fmt.Errorf("dramcache: open-page policy is incompatible with %v's auto-precharging commands", c.Design)
+	}
+	if c.Fault.Rate < 0 || c.Fault.Rate > 1 || c.Fault.UncorrectableFrac < 0 || c.Fault.UncorrectableFrac > 1 {
+		return fmt.Errorf("dramcache: fault rates must be probabilities (rate=%g, uncorrectable=%g)",
+			c.Fault.Rate, c.Fault.UncorrectableFrac)
 	}
 	return nil
 }

@@ -2,11 +2,13 @@ package dramcache
 
 import (
 	"fmt"
+	"strings"
 
 	"tdram/internal/backing"
 	"tdram/internal/dram"
 	"tdram/internal/ecc"
 	"tdram/internal/energy"
+	"tdram/internal/fault"
 	"tdram/internal/mem"
 	"tdram/internal/obs"
 	"tdram/internal/predict"
@@ -90,6 +92,15 @@ type Stats struct {
 	PredictorAccuracy   float64
 
 	PrefetchesIssued, PrefetchesUseful uint64
+
+	// MMReadWaits counts backing-store fetches parked because the read
+	// queue was full; MMReadPumps counts the queue-free wakeups that
+	// re-offered them (event-driven, not polled).
+	MMReadWaits, MMReadPumps uint64
+
+	// Fault aggregates the fault-injection subsystem's counters; all
+	// zero when injection is disabled.
+	Fault fault.Counters
 }
 
 // BloatFactor is Table IV's metric: every byte moved in the memory
@@ -122,8 +133,13 @@ type Controller struct {
 
 	// wbQ holds dirty victims awaiting acceptance by the backing store.
 	wbQ        []uint64
-	wbPumping  bool
 	mmReadWait []pendingMM
+
+	// fault is the fault-injection hook; nil (the default) disables it.
+	fault *fault.Injector
+	// retryingTxns counts transactions parked in a fault-retry backoff
+	// (outside any queue but still owed to the device).
+	retryingTxns int
 
 	predictor  *predict.MAPI
 	prefetcher *predict.StridePrefetcher
@@ -179,9 +195,27 @@ func New(s *sim.Simulator, cfg Config, mm *backing.Memory) (*Controller, error) 
 		mmMeter:  energy.NewMeter(energy.DDR5(), mm.Device().Channels()),
 		stats:    newStats(),
 	}
+	// Backpressured backing-store traffic rearms from the queues' free
+	// events instead of polling.
+	mm.OnReadFree = func() {
+		if len(c.mmReadWait) == 0 {
+			return
+		}
+		c.stats.MMReadPumps++
+		if c.obs != nil {
+			c.obs.Inc("cache.mmread.pump")
+		}
+		c.pumpMMReads()
+	}
+	mm.OnWriteFree = func() {
+		if len(c.wbQ) > 0 {
+			c.pumpWritebacks()
+		}
+	}
 	if cfg.Design == NoCache {
 		return c, nil
 	}
+	c.fault = fault.New(cfg.Fault)
 	devParams := dram.CacheDeviceParams(cfg.CapacityBytes)
 	if cfg.OpenPage {
 		devParams.OpenPage = true
@@ -243,6 +277,9 @@ func (c *Controller) maybePrefetch(core int, line uint64) {
 		if _, busy := c.inflight[target]; busy {
 			continue
 		}
+		if c.fault != nil && c.tags.isRetired(target) {
+			continue // retired sets never fill
+		}
 		pr := c.tags.probe(target)
 		if pr.Hit || pr.Dirty {
 			continue
@@ -291,6 +328,7 @@ func (c *Controller) Stats() *Stats {
 	if c.predictor != nil {
 		c.stats.PredictorAccuracy = c.predictor.Accuracy()
 	}
+	c.stats.Fault = c.fault.Counters()
 	return &c.stats
 }
 
@@ -333,6 +371,9 @@ func (c *Controller) sampleReadLatency(d sim.Tick) {
 // content or device state.
 func (c *Controller) ResetStats() {
 	c.stats = newStats()
+	// Counters reset; the injector's PRNG stream deliberately does not
+	// (warmup faults happened, only their accounting is discarded).
+	c.fault.ResetCounters()
 	if c.meter != nil {
 		ch := c.meter.Channels
 		co := c.meter.Coeffs
@@ -427,6 +468,17 @@ func (c *Controller) Enqueue(req *mem.Request) bool {
 		return true
 	}
 
+	// Graceful degradation: demands to retired sets (too many
+	// uncorrectable errors) bypass the cache to backing memory.
+	if c.fault != nil && c.tags.isRetired(line) {
+		if !c.enqueueNoCache(req) {
+			return false
+		}
+		c.fault.NoteBypass()
+		c.observeFault("bypass")
+		return true
+	}
+
 	chIdx, bank := c.dev.Route(line)
 	cc := c.chans[chIdx]
 
@@ -518,25 +570,30 @@ func (c *Controller) missFetch(req *mem.Request, line uint64, fill bool) {
 		c.retryUpstream()
 	}
 	if !c.mm.Read(line, done) {
-		// Backing read queue full: retry until accepted.
-		c.mmReadWait = append(c.mmReadWait, pendingMM{line: line, done: done})
-		c.pumpMMReads()
+		// Backing read queue full: park the fetch. The queue's free
+		// event (backing.Memory.OnReadFree) rearms the pump — one wakeup
+		// per freed slot instead of a 20 ns polling loop.
+		c.parkMMRead(pendingMM{line: line, done: done})
 	}
 }
 
-func (c *Controller) pumpMMReads() {
-	if len(c.mmReadWait) == 0 {
-		return
+func (c *Controller) parkMMRead(p pendingMM) {
+	c.mmReadWait = append(c.mmReadWait, p)
+	c.stats.MMReadWaits++
+	if c.obs != nil {
+		c.obs.Inc("cache.mmread.wait")
 	}
+}
+
+// pumpMMReads re-offers parked backing reads in arrival order.
+// Head-of-line blocking is intentional: fetch order is preserved.
+func (c *Controller) pumpMMReads() {
 	for len(c.mmReadWait) > 0 {
 		p := c.mmReadWait[0]
 		if !c.mm.Read(p.line, p.done) {
-			break
+			return
 		}
 		c.mmReadWait = c.mmReadWait[1:]
-	}
-	if len(c.mmReadWait) > 0 {
-		c.sim.Schedule(sim.NS(20), c.pumpMMReads)
 	}
 }
 
@@ -573,10 +630,12 @@ func (c *Controller) writeback(line uint64) {
 	c.pumpWritebacks()
 }
 
+// pumpWritebacks offers queued victims to the backing store; leftovers
+// wait for the write queue's free event (backing.Memory.OnWriteFree).
 func (c *Controller) pumpWritebacks() {
 	for len(c.wbQ) > 0 {
 		if !c.mm.Write(c.wbQ[0]) {
-			break
+			return
 		}
 		c.wbQ = c.wbQ[1:]
 		c.stats.MMWrites++
@@ -585,12 +644,24 @@ func (c *Controller) pumpWritebacks() {
 		c.mmMeter.Cols++
 		c.mmMeter.Bytes += 64
 	}
-	if len(c.wbQ) > 0 && !c.wbPumping {
-		c.wbPumping = true
-		c.sim.Schedule(sim.NS(20), func() {
-			c.wbPumping = false
-			c.pumpWritebacks()
-		})
+}
+
+// recordUncorrectable charges one uncorrectable (retry-exhausted) error
+// against line's set; a set crossing the retirement threshold is retired:
+// its dirty lines are written back and all future demands bypass the
+// cache (graceful degradation instead of serving corrupt data).
+func (c *Controller) recordUncorrectable(line uint64) {
+	th := c.fault.RetireThreshold()
+	if th <= 0 {
+		return
+	}
+	if c.tags.recordError(line) < th {
+		return
+	}
+	c.fault.NoteRetired()
+	c.observeFault("set.retired")
+	for _, v := range c.tags.retire(line) {
+		c.writeback(v)
 	}
 }
 
@@ -668,11 +739,39 @@ func (c *Controller) bearObserve(line uint64, outcome mem.Outcome) {
 
 // Pending reports outstanding internal work (tests and drain checks).
 func (c *Controller) Pending() int {
-	n := len(c.wbQ) + len(c.mmReadWait) + c.conflictCount
+	n := len(c.wbQ) + len(c.mmReadWait) + c.conflictCount + c.retryingTxns
 	for _, cc := range c.chans {
-		n += len(cc.readQ) + len(cc.writeQ) + len(cc.flush)
+		n += len(cc.readQ) + len(cc.writeQ) + len(cc.overflow) + len(cc.flush)
 	}
 	return n
+}
+
+// DebugState renders the controller's queue occupancies and oldest
+// outstanding request — the watchdog's diagnostic dump.
+func (c *Controller) DebugState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conflicts=%d wbq=%d mmwait=%d retrying=%d",
+		c.conflictCount, len(c.wbQ), len(c.mmReadWait), c.retryingTxns)
+	if c.tags != nil && len(c.tags.retired) > 0 {
+		fmt.Fprintf(&b, " retired-sets=%d", len(c.tags.retired))
+	}
+	now := c.sim.Now()
+	for i, cc := range c.chans {
+		oldest := sim.Tick(-1)
+		for _, q := range [][]*txn{cc.readQ, cc.writeQ, cc.overflow} {
+			for _, t := range q {
+				if age := now - t.arrive; age > oldest {
+					oldest = age
+				}
+			}
+		}
+		fmt.Fprintf(&b, "\n  ch%d: readq=%d writeq=%d overflow=%d flush=%d last-commit=%v",
+			i, len(cc.readQ), len(cc.writeQ), len(cc.overflow), len(cc.flush), cc.ch.LastCommit())
+		if oldest >= 0 {
+			fmt.Fprintf(&b, " oldest-age=%v", oldest)
+		}
+	}
+	return b.String()
 }
 
 // String describes the controller.

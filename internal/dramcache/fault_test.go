@@ -1,0 +1,139 @@
+package dramcache
+
+import (
+	"reflect"
+	"testing"
+
+	"tdram/internal/ecc"
+	"tdram/internal/fault"
+	"tdram/internal/mem"
+)
+
+// TestSelfCheckNotRepeated: the §III-C3 BIST sweep is memoized — building
+// several tag-ECC controllers (one per matrix cell in a sweep) runs it at
+// most once per process.
+func TestSelfCheckNotRepeated(t *testing.T) {
+	_ = defaultHarness(t, TDRAM)
+	_ = defaultHarness(t, NDC)
+	_ = defaultHarness(t, TDRAM)
+	if got := ecc.SelfCheckRuns(); got != 1 {
+		t.Errorf("BIST sweep ran %d times across three controllers, want exactly 1", got)
+	}
+}
+
+func faultHarness(t *testing.T, fc fault.Config) *harness {
+	cfg := DefaultConfig(TDRAM, testCapacity)
+	cfg.Fault = fc
+	return newHarness(t, cfg)
+}
+
+// TestFaultRetryThenExhaust: with every fault uncorrectable and a retry
+// budget of 2, an access detects, retries twice with backoff, exhausts
+// its budget and still completes (degraded, not wedged).
+func TestFaultRetryThenExhaust(t *testing.T) {
+	h := faultHarness(t, fault.Config{
+		Rate: 1, Seed: 5, UncorrectableFrac: 1, RetryBudget: 2, RetireThreshold: -1,
+	})
+	h.read(100)
+	h.drain()
+	st := h.ctl.Stats()
+	if st.Fault.Injected == 0 || st.Fault.Detected == 0 {
+		t.Fatalf("rate-1 run injected nothing: %+v", st.Fault)
+	}
+	if st.Fault.Retries < 2 {
+		t.Errorf("retries = %d, want >= 2 (budget consumed)", st.Fault.Retries)
+	}
+	if st.Fault.Exhausted == 0 {
+		t.Errorf("no access exhausted its budget: %+v", st.Fault)
+	}
+	if st.Fault.SetsRetired != 0 {
+		t.Errorf("retirement disabled but %d set(s) retired", st.Fault.SetsRetired)
+	}
+	if st.Outcomes.Count(mem.ReadMissClean) != 1 {
+		t.Errorf("read did not complete as a miss: %v", st.Outcomes)
+	}
+}
+
+// TestFaultSetRetirementBypass: with retries disabled and a threshold of
+// one, the first uncorrectable error retires the set; later demands to
+// that set bypass the cache and still complete.
+func TestFaultSetRetirementBypass(t *testing.T) {
+	h := faultHarness(t, fault.Config{
+		Rate: 1, Seed: 5, UncorrectableFrac: 1, RetryBudget: -1, RetireThreshold: 1,
+	})
+	h.read(100)
+	h.drain()
+	st := h.ctl.Stats()
+	if st.Fault.Exhausted == 0 {
+		t.Fatalf("retries disabled yet nothing exhausted: %+v", st.Fault)
+	}
+	if st.Fault.SetsRetired == 0 {
+		t.Fatalf("threshold 1 crossed but no set retired: %+v", st.Fault)
+	}
+
+	before := h.ctl.Stats().MMReads
+	h.read(100) // same line, now a retired set
+	h.drain()
+	st = h.ctl.Stats()
+	if st.Fault.Bypasses == 0 {
+		t.Errorf("demand to a retired set did not bypass: %+v", st.Fault)
+	}
+	if st.MMReads <= before {
+		t.Errorf("bypassed demand never reached backing memory (mm reads %d -> %d)", before, st.MMReads)
+	}
+}
+
+// TestFaultSameSeedIdenticalStats: the end-to-end determinism criterion
+// at the controller level — two harnesses with the same fault seed and
+// the same access pattern finish with identical stats, at the same tick.
+func TestFaultSameSeedIdenticalStats(t *testing.T) {
+	run := func() (*Stats, int64) {
+		h := faultHarness(t, fault.Config{Rate: 0.05, Seed: 99})
+		for i := uint64(0); i < 60; i++ {
+			h.read(i * 3)
+		}
+		for i := uint64(0); i < 20; i++ {
+			h.write(i * 5)
+		}
+		h.drain()
+		return h.ctl.Stats(), int64(h.s.Now())
+	}
+	sa, ta := run()
+	sb, tb := run()
+	if !reflect.DeepEqual(sa, sb) {
+		t.Errorf("same seed, different stats:\na: %+v\nb: %+v", sa.Fault, sb.Fault)
+	}
+	if ta != tb {
+		t.Errorf("same seed, different finish time: %d vs %d", ta, tb)
+	}
+}
+
+// TestFaultCorrectedOnly: a vanishing uncorrectable fraction exercises
+// only the corrected path — no retries, no degradation, and the access
+// outcomes match a fault-free run (corrected faults are invisible to
+// cache semantics).
+func TestFaultCorrectedOnly(t *testing.T) {
+	drive := func(h *harness) *Stats {
+		for i := uint64(0); i < 40; i++ {
+			h.read(i)
+		}
+		h.drain()
+		return h.ctl.Stats()
+	}
+	clean := drive(defaultHarness(t, TDRAM))
+	// HM-bus parity faults always force a re-send, so keep this run on
+	// the ECC-protected sites only by comparing outcomes, not timing.
+	faulty := drive(faultHarness(t, fault.Config{Rate: 0.5, Seed: 2, UncorrectableFrac: 1e-12}))
+	if faulty.Fault.Corrected == 0 {
+		t.Fatalf("rate-0.5 run corrected nothing: %+v", faulty.Fault)
+	}
+	// HM parity faults still force re-sends (they are never correctable),
+	// so only the degradation counters must stay clean.
+	if faulty.Fault.SetsRetired != 0 || faulty.Fault.Bypasses != 0 || faulty.Fault.VictimsLost != 0 {
+		t.Errorf("corrected-only run degraded: %+v", faulty.Fault)
+	}
+	if !reflect.DeepEqual(clean.Outcomes, faulty.Outcomes) {
+		t.Errorf("outcomes diverge under corrected-only faults:\nclean:  %v\nfaulty: %v",
+			clean.Outcomes, faulty.Outcomes)
+	}
+}

@@ -59,6 +59,7 @@ func (c *Controller) SetObserver(o *obs.Observer) {
 		return float64(n)
 	})
 	o.Gauge("cache.conflict", func() float64 { return float64(c.conflictCount) })
+	o.Gauge("cache.mmread_wait", func() float64 { return float64(len(c.mmReadWait)) })
 	if c.dev != nil {
 		o.Gauge("cache.dq_util", busUtilGauge(o, c.dev.Channels(), func() uint64 {
 			return c.dev.Stats().DQBusyTicks
@@ -140,6 +141,15 @@ func (cc *chanCtl) observeFlushFill() {
 		now := cc.now()
 		o.Instant(cc.trkEvents, "flush-fill", now)
 		o.CounterInt(cc.trkFlush, now, int64(len(cc.flush)))
+	}
+}
+
+// observeFault records a fault-injection event ("retry", "exhausted",
+// "bypass", "set.retired", "hm.resend", "flush.retry", ...) as a
+// run-summary counter under the "fault." prefix.
+func (c *Controller) observeFault(event string) {
+	if c.obs != nil {
+		c.obs.Inc("fault." + event)
 	}
 }
 

@@ -34,6 +34,14 @@ type tagStore struct {
 	ways    int
 	lines   []lineState
 	lruTick uint64
+
+	// Graceful degradation under fault injection: errs counts
+	// retry-exhausted (uncorrectable) errors per set; sets in retired are
+	// out of service — every access misses clean without installing, so
+	// the controller serves them from the backing store. Both maps are
+	// lazily allocated: fault-free runs never touch them.
+	retired map[uint64]bool
+	errs    map[uint64]int
 }
 
 // newTagStore sizes the store for capacityBytes of 64 B lines.
@@ -63,7 +71,52 @@ type probeResult struct {
 	Victim   uint64
 }
 
+// isRetired reports whether line's set is out of service.
+func (t *tagStore) isRetired(line uint64) bool {
+	return t.retired != nil && t.retired[line%t.sets]
+}
+
+// recordError charges one uncorrectable error against line's set and
+// returns the set's running count (0 once the set is already retired).
+func (t *tagStore) recordError(line uint64) int {
+	set := line % t.sets
+	if t.retired != nil && t.retired[set] {
+		return 0
+	}
+	if t.errs == nil {
+		t.errs = make(map[uint64]int)
+	}
+	t.errs[set]++
+	return t.errs[set]
+}
+
+// retire takes line's set out of service, invalidating its ways, and
+// returns the line addresses of any dirty victims that must still be
+// written back. Idempotent.
+func (t *tagStore) retire(line uint64) (dirty []uint64) {
+	set := line % t.sets
+	if t.retired == nil {
+		t.retired = make(map[uint64]bool)
+	}
+	if t.retired[set] {
+		return nil
+	}
+	t.retired[set] = true
+	base := set * uint64(t.ways)
+	for w := 0; w < t.ways; w++ {
+		l := &t.lines[base+uint64(w)]
+		if l.valid && l.dirty {
+			dirty = append(dirty, t.lineOf(set, l.tag))
+		}
+		*l = lineState{}
+	}
+	return dirty
+}
+
 func (t *tagStore) probe(line uint64) probeResult {
+	if t.isRetired(line) {
+		return probeResult{}
+	}
 	set, tag := t.set(line)
 	base := set * uint64(t.ways)
 	var victim *lineState
@@ -97,6 +150,15 @@ func (t *tagStore) probe(line uint64) probeResult {
 // install=false (BEAR's bypassed fills) evaluates the outcome without
 // modifying state.
 func (t *tagStore) access(line uint64, write, install bool) (out mem.Outcome, victim uint64, victimDirty bool) {
+	if t.isRetired(line) {
+		// Retired sets never hit and never install: the access behaves as
+		// a miss-clean the controller resolves against the backing store.
+		kind := mem.Read
+		if write {
+			kind = mem.Write
+		}
+		return mem.ClassifyOutcome(kind, false, false), 0, false
+	}
 	set, tag := t.set(line)
 	base := set * uint64(t.ways)
 	t.lruTick++

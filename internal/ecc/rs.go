@@ -81,26 +81,3 @@ func DecodeTag(cw TagCodeword) (word uint16, corrected bool, err error) {
 
 // TagCheckBits reports the check overhead in bits (the paper's budget: 8).
 func TagCheckBits() int { return 4 * (TagCodewordSymbols - tagDataSymbols) }
-
-// SelfCheck exercises both codecs on fixed patterns — the model of the
-// base-die BIST pass the paper describes running at startup (§III-C3,
-// which also zeroes the tag mats). It returns the first inconsistency.
-func SelfCheck() error {
-	for _, w := range []uint16{0x0000, 0xFFFF, 0x5A5A, 0x3FFF} {
-		cw := EncodeTag(w)
-		cw[3] ^= 0x9
-		got, corrected, err := DecodeTag(cw)
-		if err != nil || !corrected || got != w {
-			return fmt.Errorf("ecc: tag self-check failed for %#x: %v", w, err)
-		}
-	}
-	for _, d := range []uint64{0, ^uint64(0), 0x0123456789ABCDEF} {
-		cw := EncodeData(d)
-		cw.FlipDataBit(17)
-		got, corrected, err := DecodeData(cw)
-		if err != nil || !corrected || got != d {
-			return fmt.Errorf("ecc: data self-check failed for %#x: %v", d, err)
-		}
-	}
-	return nil
-}

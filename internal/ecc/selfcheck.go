@@ -1,0 +1,99 @@
+package ecc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// SelfCheck models the base-die BIST pass the paper describes running at
+// startup (§III-C3, which also zeroes the tag mats): it exercises both
+// codecs — every single-symbol tag error and every single data bit flip
+// across a pattern battery, plus double-error detection spot checks —
+// and returns the first inconsistency.
+//
+// The codecs are pure functions over tables computed at package init, so
+// one pass validates them for the whole process. SelfCheck therefore
+// runs the sweep exactly once, no matter how many controllers (one per
+// matrix cell, many per test binary) call it; later calls return the
+// memoized verdict.
+func SelfCheck() error {
+	selfCheckOnce.Do(func() {
+		atomic.AddUint64(&selfCheckRuns, 1)
+		selfCheckErr = selfCheck()
+	})
+	return selfCheckErr
+}
+
+var (
+	selfCheckOnce sync.Once
+	selfCheckErr  error
+	selfCheckRuns uint64
+)
+
+// SelfCheckRuns reports how many times the underlying sweep actually
+// executed (at most once per process; tests assert the once-guard).
+func SelfCheckRuns() uint64 { return atomic.LoadUint64(&selfCheckRuns) }
+
+// selfCheck is the unguarded sweep.
+func selfCheck() error {
+	tagPatterns := []uint16{0x0000, 0xFFFF, 0x5A5A, 0x3FFF, 0xA5C3, 0x0001, 0x8000}
+	for _, w := range tagPatterns {
+		// Clean round trip.
+		if got, corrected, err := DecodeTag(EncodeTag(w)); err != nil || corrected || got != w {
+			return fmt.Errorf("ecc: tag self-check: clean decode of %#x failed: %v", w, err)
+		}
+		// Every single-symbol error in every position corrects.
+		clean := EncodeTag(w)
+		for pos := 0; pos < TagCodewordSymbols; pos++ {
+			for e := byte(1); e < 16; e++ {
+				cw := clean
+				cw[pos] ^= e
+				got, corrected, err := DecodeTag(cw)
+				if err != nil || !corrected || got != w {
+					return fmt.Errorf("ecc: tag self-check: %#x pos %d err %x not corrected: %v", w, pos, e, err)
+				}
+			}
+		}
+		// Double-symbol errors must never decode clean.
+		for p1 := 0; p1 < TagCodewordSymbols; p1++ {
+			for p2 := p1 + 1; p2 < TagCodewordSymbols; p2++ {
+				cw := clean
+				cw[p1] ^= 0x5
+				cw[p2] ^= 0xA
+				got, corrected, err := DecodeTag(cw)
+				if err == nil && (!corrected || got == w) {
+					return fmt.Errorf("ecc: tag self-check: double error at %d,%d of %#x decoded clean", p1, p2, w)
+				}
+			}
+		}
+	}
+
+	dataPatterns := []uint64{0, ^uint64(0), 0x0123456789ABCDEF, 0xAAAAAAAAAAAAAAAA, 0x8000000000000001}
+	for _, d := range dataPatterns {
+		if got, corrected, err := DecodeData(EncodeData(d)); err != nil || corrected || got != d {
+			return fmt.Errorf("ecc: data self-check: clean decode of %#x failed: %v", d, err)
+		}
+		// Every single data bit flip corrects.
+		for i := 0; i < 64; i++ {
+			cw := EncodeData(d)
+			cw.FlipDataBit(i)
+			got, corrected, err := DecodeData(cw)
+			if err != nil || !corrected || got != d {
+				return fmt.Errorf("ecc: data self-check: %#x bit %d not corrected: %v", d, i, err)
+			}
+		}
+		// A sample of double flips must detect, never miscorrect.
+		for i := 0; i < 64; i += 7 {
+			for j := i + 1; j < 64; j += 11 {
+				cw := EncodeData(d)
+				cw.FlipDataBit(i)
+				cw.FlipDataBit(j)
+				if _, _, err := DecodeData(cw); err == nil {
+					return fmt.Errorf("ecc: data self-check: double flip %d,%d of %#x not detected", i, j, d)
+				}
+			}
+		}
+	}
+	return nil
+}

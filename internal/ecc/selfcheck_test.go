@@ -1,0 +1,117 @@
+package ecc
+
+import "testing"
+
+// TestSelfCheckOnce: repeated SelfCheck calls return the memoized
+// verdict; the sweep itself runs at most once per process no matter how
+// many controllers start up.
+func TestSelfCheckOnce(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		if err := SelfCheck(); err != nil {
+			t.Fatalf("SelfCheck() call %d: %v", i, err)
+		}
+	}
+	if runs := SelfCheckRuns(); runs != 1 {
+		t.Errorf("sweep ran %d times, want exactly 1", runs)
+	}
+}
+
+// TestSelfCheckSweepIsRepeatable: the unguarded sweep itself is a pure
+// function of the codec tables — safe to run again directly.
+func TestSelfCheckSweepIsRepeatable(t *testing.T) {
+	if err := selfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDataDetectsEveryDoubleBit: exhaustive SECDED guarantee — all 2016
+// distinct double data-bit flips are detected, never silently corrected
+// back to the original word.
+func TestDataDetectsEveryDoubleBit(t *testing.T) {
+	const d = uint64(0xC3A5F00D12345678)
+	for i := 0; i < 64; i++ {
+		for j := i + 1; j < 64; j++ {
+			cw := EncodeData(d)
+			cw.FlipDataBit(i)
+			cw.FlipDataBit(j)
+			got, corrected, err := DecodeData(cw)
+			if err == nil {
+				t.Fatalf("double flip %d,%d undetected (got %#x corrected=%v)", i, j, got, corrected)
+			}
+		}
+	}
+}
+
+// splitmix64 mirrors the fault injector's PRNG so the fuzz below is
+// seeded and reproducible without pulling in math/rand.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D649BB133111EB
+	return z ^ (z >> 31)
+}
+
+// TestTagSeededFuzz: seeded encode/corrupt/decode rounds over random
+// words. One corrupted symbol always corrects; two corrupted symbols are
+// never silently accepted as the original word.
+func TestTagSeededFuzz(t *testing.T) {
+	state := uint64(0x1DF0C3)
+	for round := 0; round < 20000; round++ {
+		w := uint16(splitmix64(&state))
+		clean := EncodeTag(w)
+
+		cw := clean
+		p := int(splitmix64(&state) % TagCodewordSymbols)
+		cw[p] ^= byte(splitmix64(&state)%15) + 1
+		got, corrected, err := DecodeTag(cw)
+		if err != nil || !corrected || got != w {
+			t.Fatalf("round %d: single error at %d of %#x: got %#x corrected=%v err=%v",
+				round, p, w, got, corrected, err)
+		}
+
+		cw = clean
+		p1 := int(splitmix64(&state) % TagCodewordSymbols)
+		p2 := int(splitmix64(&state) % (TagCodewordSymbols - 1))
+		if p2 >= p1 {
+			p2++
+		}
+		cw[p1] ^= byte(splitmix64(&state)%15) + 1
+		cw[p2] ^= byte(splitmix64(&state)%15) + 1
+		got, corrected, err = DecodeTag(cw)
+		if err == nil && got == w {
+			t.Fatalf("round %d: double error at %d,%d of %#x decoded to the original word (corrected=%v)",
+				round, p1, p2, w, corrected)
+		}
+		if err == nil && !corrected {
+			t.Fatalf("round %d: double error at %d,%d of %#x reported clean", round, p1, p2, w)
+		}
+	}
+}
+
+// TestDataSeededFuzz: the same seeded fuzz over the SECDED codec —
+// random words, one random flip corrects, two distinct flips detect.
+func TestDataSeededFuzz(t *testing.T) {
+	state := uint64(0x5EC0ED)
+	for round := 0; round < 20000; round++ {
+		d := splitmix64(&state)
+		cw := EncodeData(d)
+		cw.FlipDataBit(int(splitmix64(&state) % 64))
+		got, corrected, err := DecodeData(cw)
+		if err != nil || !corrected || got != d {
+			t.Fatalf("round %d: single flip of %#x: got %#x corrected=%v err=%v", round, d, got, corrected, err)
+		}
+
+		cw = EncodeData(d)
+		i := int(splitmix64(&state) % 64)
+		j := int(splitmix64(&state) % 63)
+		if j >= i {
+			j++
+		}
+		cw.FlipDataBit(i)
+		cw.FlipDataBit(j)
+		if _, _, err := DecodeData(cw); err == nil {
+			t.Fatalf("round %d: double flip %d,%d of %#x undetected", round, i, j, d)
+		}
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"strings"
 
 	"tdram/internal/dramcache"
+	"tdram/internal/fault"
+	"tdram/internal/sim"
 	"tdram/internal/stats"
 	"tdram/internal/system"
 	"tdram/internal/workload"
@@ -26,7 +28,23 @@ type Scale struct {
 	RequestsPerCore int
 	WarmupPerCore   int
 	Workloads       []workload.Spec
+
+	// FaultRate, when positive, enables deterministic fault injection
+	// (internal/fault) at that per-access probability, seeded by
+	// FaultSeed.
+	FaultRate float64
+	FaultSeed uint64
+
+	// Watchdog arms the no-progress watchdog (zero disables). The default
+	// scales arm it: the watchdog only observes, so results are
+	// bit-identical, and a wedged cell aborts with a dump instead of
+	// hanging the whole sweep.
+	Watchdog sim.Tick
 }
+
+// defaultWatchdog is the window the stock scales arm: far beyond any
+// legitimate retirement gap at these request counts.
+const defaultWatchdog = 10 * sim.Millisecond
 
 // Full covers all 28 workloads at the default capacity.
 func Full() Scale {
@@ -36,6 +54,7 @@ func Full() Scale {
 		RequestsPerCore: 10000,
 		WarmupPerCore:   1000,
 		Workloads:       workload.All(),
+		Watchdog:        defaultWatchdog,
 	}
 }
 
@@ -48,6 +67,7 @@ func Quick() Scale {
 		RequestsPerCore: 4000,
 		WarmupPerCore:   500,
 		Workloads:       workload.Representative(),
+		Watchdog:        defaultWatchdog,
 	}
 }
 
@@ -56,6 +76,10 @@ func (sc Scale) Config(d dramcache.Design, wl workload.Spec) system.Config {
 	cfg := system.DefaultConfig(d, wl, sc.CacheBytes)
 	cfg.RequestsPerCore = sc.RequestsPerCore
 	cfg.WarmupPerCore = sc.WarmupPerCore
+	cfg.Watchdog = sc.Watchdog
+	if sc.FaultRate > 0 && d != dramcache.NoCache {
+		cfg.Cache.Fault = fault.Config{Rate: sc.FaultRate, Seed: sc.FaultSeed}
+	}
 	return cfg
 }
 

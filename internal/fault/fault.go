@@ -1,0 +1,335 @@
+// Package fault is the seeded, deterministic fault-injection subsystem.
+// An Injector is attached to the DRAM-cache controller the same way an
+// obs.Observer is: a nil pointer disables it, every hook method is
+// nil-safe, and a disabled injector costs exactly one branch per site —
+// zero-fault runs are bit-identical to runs without the package.
+//
+// Each hook models one physical fault site of the tag-enhanced memory
+// system and decides the outcome by actually exercising the codec that
+// protects the site (internal/ecc), not by sampling an abstract
+// corrected/detected split:
+//
+//   - DataBeat: a transient bit flip on a DQ data beat, protected by
+//     SECDED(72,64). Single flips are corrected in flight; double flips
+//     are detected and force a controller retry.
+//   - TagRead: corruption of a tag-mat read, protected by RS(6,4) over
+//     GF(16). Single-symbol errors are corrected; two-symbol errors are
+//     detected (or, unavoidably for a distance-3 code, miscorrected —
+//     counted separately and treated as detected, since the controller's
+//     address cross-check catches the mismatch).
+//   - HMPacket: a parity error on a Hit-Miss bus result packet. Parity
+//     always detects the single-beat flip; the packet is re-sent.
+//   - FlushEntry: corruption of a buffered flush/victim entry, protected
+//     like data by SECDED.
+//
+// The PRNG is splitmix64 seeded from Config.Seed, so a fixed seed gives
+// bit-identical fault sequences (and therefore identical counters and
+// timing) across runs.
+package fault
+
+import "tdram/internal/ecc"
+
+// Config parameterizes an Injector. The zero value disables injection.
+type Config struct {
+	// Rate is the per-opportunity injection probability applied at every
+	// fault site (each data burst, tag-mat read, HM packet and flush
+	// drain is one opportunity). Zero disables the injector.
+	Rate float64
+	// Seed seeds the injector's deterministic PRNG.
+	Seed uint64
+	// UncorrectableFrac is the fraction of injected faults that exceed
+	// the protecting code's correction capability (double bit flips,
+	// two-symbol tag errors). Zero selects the default of 1/8.
+	UncorrectableFrac float64
+	// RetryBudget bounds how often the controller reissues an access
+	// whose fault was detected but not corrected. Zero selects the
+	// default of 3; negative disables retries.
+	RetryBudget int
+	// RetireThreshold is the number of retry-exhausted (uncorrectable)
+	// errors a cache set tolerates before it is retired: subsequent
+	// accesses to a retired set bypass the cache to backing memory.
+	// Zero selects the default of 4; negative disables retirement.
+	RetireThreshold int
+}
+
+// Enabled reports whether this configuration injects any faults.
+func (c Config) Enabled() bool { return c.Rate > 0 }
+
+// Outcome classifies one injection opportunity.
+type Outcome uint8
+
+const (
+	// None: no fault was injected at this opportunity.
+	None Outcome = iota
+	// Corrected: a fault was injected and the protecting code corrected
+	// it in flight; no timing impact.
+	Corrected
+	// Detected: a fault was injected and detected but not corrected;
+	// the controller must retry (or give up and degrade).
+	Detected
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	}
+	return "none"
+}
+
+// Counters aggregates injection and recovery activity. It is a plain
+// comparable struct so it can be embedded in dramcache.Stats and
+// compared with reflect.DeepEqual in determinism tests.
+type Counters struct {
+	// Injected counts every fault injected, over all sites.
+	Injected uint64
+	// Per-site injection counts (they sum to Injected).
+	DataFaults, TagFaults, HMFaults, FlushFaults uint64
+
+	// Corrected counts faults the protecting code fixed in flight.
+	Corrected uint64
+	// Detected counts faults flagged but not corrected, including HM
+	// parity errors and tag miscorrections.
+	Detected uint64
+	// Miscorrected counts two-symbol tag errors the RS decoder silently
+	// "corrected" to a wrong word (possible for a distance-3 code); the
+	// controller's address cross-check converts them to detections.
+	Miscorrected uint64
+
+	// Retries counts controller reissues (accesses, HM re-sends and
+	// flush-drain reattempts) triggered by detected faults.
+	Retries uint64
+	// Exhausted counts accesses that consumed their whole retry budget
+	// and proceeded with an uncorrectable error recorded.
+	Exhausted uint64
+	// SetsRetired counts cache sets retired for crossing the
+	// uncorrectable-error threshold.
+	SetsRetired uint64
+	// Bypasses counts demands routed straight to backing memory because
+	// their set was retired.
+	Bypasses uint64
+	// VictimsLost counts flush-buffer entries dropped after exhausting
+	// their drain retries (the victim's writeback is lost).
+	VictimsLost uint64
+}
+
+// Injector injects faults. A nil *Injector is valid and injects nothing.
+type Injector struct {
+	cfg Config
+	rng uint64
+	ctr Counters
+}
+
+// New builds an injector, applying Config defaults. It returns nil for a
+// disabled configuration so callers keep the nil-check hook pattern.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.UncorrectableFrac == 0 {
+		cfg.UncorrectableFrac = 1.0 / 8
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 3
+	}
+	if cfg.RetireThreshold == 0 {
+		cfg.RetireThreshold = 4
+	}
+	return &Injector{cfg: cfg, rng: cfg.Seed}
+}
+
+// next advances the splitmix64 stream.
+func (in *Injector) next() uint64 {
+	in.rng += 0x9E3779B97F4A7C15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D649BB133111EB
+	return z ^ (z >> 31)
+}
+
+// rollP draws a uniform [0,1) variate and compares it against p.
+func (in *Injector) rollP(p float64) bool {
+	return float64(in.next()>>11)/(1<<53) < p
+}
+
+// roll decides whether this opportunity injects a fault.
+func (in *Injector) roll() bool { return in.rollP(in.cfg.Rate) }
+
+// uncorrectable decides whether an injected fault exceeds the code.
+func (in *Injector) uncorrectable() bool { return in.rollP(in.cfg.UncorrectableFrac) }
+
+// RetryBudget reports the per-access retry bound (0 when disabled).
+func (in *Injector) RetryBudget() int {
+	if in == nil || in.cfg.RetryBudget < 0 {
+		return 0
+	}
+	return in.cfg.RetryBudget
+}
+
+// RetireThreshold reports the per-set uncorrectable-error bound before
+// retirement (0 disables retirement).
+func (in *Injector) RetireThreshold() int {
+	if in == nil || in.cfg.RetireThreshold < 0 {
+		return 0
+	}
+	return in.cfg.RetireThreshold
+}
+
+// DataBeat is the DQ data-burst fault site (SECDED-protected).
+func (in *Injector) DataBeat() Outcome {
+	if in == nil || !in.roll() {
+		return None
+	}
+	in.ctr.DataFaults++
+	return in.secdedFault()
+}
+
+// FlushEntry is the flush/victim-buffer entry fault site
+// (SECDED-protected like data).
+func (in *Injector) FlushEntry() Outcome {
+	if in == nil || !in.roll() {
+		return None
+	}
+	in.ctr.FlushFaults++
+	return in.secdedFault()
+}
+
+// secdedFault encodes a pseudorandom word, flips one or two data bits,
+// and classifies by what the SECDED decoder actually does.
+func (in *Injector) secdedFault() Outcome {
+	in.ctr.Injected++
+	data := in.next()
+	cw := ecc.EncodeData(data)
+	if in.uncorrectable() {
+		// Two distinct bit flips: SECDED detects, never corrects.
+		i := int(in.next() % 64)
+		j := int(in.next() % 63)
+		if j >= i {
+			j++
+		}
+		cw.FlipDataBit(i)
+		cw.FlipDataBit(j)
+		got, corrected, err := ecc.DecodeData(cw)
+		if err == nil && (!corrected || got == data) {
+			// Would be a codec bug; ecc's tests forbid it. Stay safe.
+			in.ctr.Miscorrected++
+		}
+		in.ctr.Detected++
+		return Detected
+	}
+	cw.FlipDataBit(int(in.next() % 64))
+	got, corrected, err := ecc.DecodeData(cw)
+	if err != nil || !corrected || got != data {
+		in.ctr.Detected++
+		return Detected
+	}
+	in.ctr.Corrected++
+	return Corrected
+}
+
+// TagRead is the tag-mat read fault site (RS(6,4)-protected).
+func (in *Injector) TagRead() Outcome {
+	if in == nil || !in.roll() {
+		return None
+	}
+	in.ctr.Injected++
+	in.ctr.TagFaults++
+	word := uint16(in.next())
+	clean := ecc.EncodeTag(word)
+	cw := clean
+	if in.uncorrectable() {
+		// Two corrupted symbols exceed the single-symbol guarantee: the
+		// decoder flags the codeword or miscorrects it to a wrong word.
+		p1 := int(in.next() % ecc.TagCodewordSymbols)
+		p2 := int(in.next() % (ecc.TagCodewordSymbols - 1))
+		if p2 >= p1 {
+			p2++
+		}
+		cw[p1] ^= byte(in.next()%15) + 1
+		cw[p2] ^= byte(in.next()%15) + 1
+		got, corrected, err := ecc.DecodeTag(cw)
+		if err == nil && corrected && got != word {
+			// Silent miscorrection: the controller's cross-check of the
+			// decoded tag against the request address exposes it.
+			in.ctr.Miscorrected++
+		}
+		in.ctr.Detected++
+		return Detected
+	}
+	cw[int(in.next()%ecc.TagCodewordSymbols)] ^= byte(in.next()%15) + 1
+	got, corrected, err := ecc.DecodeTag(cw)
+	if err != nil || !corrected || got != word {
+		in.ctr.Detected++
+		return Detected
+	}
+	in.ctr.Corrected++
+	return Corrected
+}
+
+// HMPacket is the Hit-Miss bus result-packet fault site. Per-packet
+// parity always detects the single-beat flip; the packet is re-sent, so
+// the caller models a re-transfer delay rather than an access retry.
+// It reports whether a fault was injected.
+func (in *Injector) HMPacket() bool {
+	if in == nil || !in.roll() {
+		return false
+	}
+	in.ctr.Injected++
+	in.ctr.HMFaults++
+	in.ctr.Detected++
+	return true
+}
+
+// NoteRetry records one controller retry caused by a detected fault.
+func (in *Injector) NoteRetry() {
+	if in != nil {
+		in.ctr.Retries++
+	}
+}
+
+// NoteExhausted records an access that ran out of retry budget.
+func (in *Injector) NoteExhausted() {
+	if in != nil {
+		in.ctr.Exhausted++
+	}
+}
+
+// NoteRetired records a cache-set retirement.
+func (in *Injector) NoteRetired() {
+	if in != nil {
+		in.ctr.SetsRetired++
+	}
+}
+
+// NoteBypass records a demand bypassed to backing memory because its
+// set was retired.
+func (in *Injector) NoteBypass() {
+	if in != nil {
+		in.ctr.Bypasses++
+	}
+}
+
+// NoteVictimLost records a flush entry dropped after exhausting retries.
+func (in *Injector) NoteVictimLost() {
+	if in != nil {
+		in.ctr.VictimsLost++
+	}
+}
+
+// Counters returns a snapshot of the accumulated counters.
+func (in *Injector) Counters() Counters {
+	if in == nil {
+		return Counters{}
+	}
+	return in.ctr
+}
+
+// ResetCounters zeroes the counters without touching the PRNG stream
+// (warmup faults stay injected; only their accounting is discarded).
+func (in *Injector) ResetCounters() {
+	if in != nil {
+		in.ctr = Counters{}
+	}
+}

@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNilInjectorIsInert: the nil-check hook pattern — every method on a
+// nil *Injector is safe and a disabled config builds nil.
+func TestNilInjectorIsInert(t *testing.T) {
+	if in := New(Config{}); in != nil {
+		t.Fatal("zero config built a live injector")
+	}
+	if in := New(Config{Rate: 0, Seed: 42}); in != nil {
+		t.Fatal("rate-0 config built a live injector")
+	}
+	var in *Injector
+	if in.DataBeat() != None || in.TagRead() != None || in.FlushEntry() != None {
+		t.Error("nil injector injected")
+	}
+	if in.HMPacket() {
+		t.Error("nil injector injected an HM fault")
+	}
+	if in.RetryBudget() != 0 || in.RetireThreshold() != 0 {
+		t.Error("nil injector reports a nonzero budget")
+	}
+	in.NoteRetry()
+	in.NoteExhausted()
+	in.NoteRetired()
+	in.NoteBypass()
+	in.NoteVictimLost()
+	in.ResetCounters()
+	if in.Counters() != (Counters{}) {
+		t.Error("nil injector accumulated counters")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	in := New(Config{Rate: 0.5})
+	if in.RetryBudget() != 3 {
+		t.Errorf("default retry budget = %d, want 3", in.RetryBudget())
+	}
+	if in.RetireThreshold() != 4 {
+		t.Errorf("default retire threshold = %d, want 4", in.RetireThreshold())
+	}
+	if in.cfg.UncorrectableFrac != 1.0/8 {
+		t.Errorf("default uncorrectable frac = %v, want 1/8", in.cfg.UncorrectableFrac)
+	}
+	// Negative values disable, not default.
+	in = New(Config{Rate: 0.5, RetryBudget: -1, RetireThreshold: -1})
+	if in.RetryBudget() != 0 {
+		t.Errorf("negative retry budget = %d, want 0", in.RetryBudget())
+	}
+	if in.RetireThreshold() != 0 {
+		t.Errorf("negative retire threshold = %d, want 0", in.RetireThreshold())
+	}
+}
+
+// exercise drives every hook in a fixed mixed pattern and returns the
+// resulting counters.
+func exercise(in *Injector, n int) Counters {
+	for i := 0; i < n; i++ {
+		in.DataBeat()
+		in.TagRead()
+		in.HMPacket()
+		in.FlushEntry()
+	}
+	return in.Counters()
+}
+
+// TestSameSeedSameStream: the acceptance criterion — a fixed seed yields
+// bit-identical fault sequences, so two injectors with the same config
+// produce identical counters.
+func TestSameSeedSameStream(t *testing.T) {
+	cfg := Config{Rate: 0.3, Seed: 12345}
+	a := exercise(New(cfg), 5000)
+	b := exercise(New(cfg), 5000)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different counters:\na: %+v\nb: %+v", a, b)
+	}
+	if a.Injected == 0 {
+		t.Error("rate 0.3 over 20000 opportunities injected nothing")
+	}
+}
+
+// TestCounterConsistency: every injected fault is classified exactly
+// once, and the per-site counts partition Injected.
+func TestCounterConsistency(t *testing.T) {
+	c := exercise(New(Config{Rate: 0.4, Seed: 7}), 4000)
+	if got := c.Corrected + c.Detected; got != c.Injected {
+		t.Errorf("corrected %d + detected %d = %d, want injected %d",
+			c.Corrected, c.Detected, got, c.Injected)
+	}
+	if got := c.DataFaults + c.TagFaults + c.HMFaults + c.FlushFaults; got != c.Injected {
+		t.Errorf("site counts sum to %d, want injected %d", got, c.Injected)
+	}
+	for _, site := range []struct {
+		name string
+		n    uint64
+	}{{"data", c.DataFaults}, {"tag", c.TagFaults}, {"hm", c.HMFaults}, {"flush", c.FlushFaults}} {
+		if site.n == 0 {
+			t.Errorf("no %s faults injected over 4000 rounds at rate 0.4", site.name)
+		}
+	}
+	if c.Miscorrected > c.Detected {
+		t.Errorf("miscorrected %d exceeds detected %d", c.Miscorrected, c.Detected)
+	}
+}
+
+// TestUncorrectableFracExtremes: a vanishing fraction yields only
+// corrected faults; fraction 1 yields only detected ones (SECDED double
+// flips and RS double-symbol errors are never silently healed).
+func TestUncorrectableFracExtremes(t *testing.T) {
+	// HMPacket always detects, so drive only the ECC-protected sites.
+	in := New(Config{Rate: 1, Seed: 3, UncorrectableFrac: 1e-12})
+	for i := 0; i < 500; i++ {
+		in.DataBeat()
+		in.TagRead()
+		in.FlushEntry()
+	}
+	if c := in.Counters(); c.Detected != 0 || c.Corrected != c.Injected || c.Injected != 1500 {
+		t.Errorf("frac~0 without HM: %+v, want 1500 injected all corrected", c)
+	}
+	in = New(Config{Rate: 1, Seed: 3, UncorrectableFrac: 1})
+	for i := 0; i < 500; i++ {
+		in.DataBeat()
+		in.TagRead()
+		in.FlushEntry()
+	}
+	if c := in.Counters(); c.Corrected != 0 || c.Detected != c.Injected || c.Injected != 1500 {
+		t.Errorf("frac=1: %+v, want 1500 injected all detected", c)
+	}
+}
+
+func TestHMPacketAlwaysDetects(t *testing.T) {
+	in := New(Config{Rate: 1, Seed: 9})
+	for i := 0; i < 100; i++ {
+		if !in.HMPacket() {
+			t.Fatal("rate-1 HMPacket did not inject")
+		}
+	}
+	c := in.Counters()
+	if c.HMFaults != 100 || c.Detected != 100 || c.Corrected != 0 {
+		t.Errorf("HM counters %+v, want 100 injected/detected", c)
+	}
+}
+
+// TestResetCountersKeepsStream: ResetCounters zeroes accounting but the
+// PRNG keeps advancing — the post-reset stream differs from a fresh one
+// (the warmup-boundary semantics the controller relies on).
+func TestResetCountersKeepsStream(t *testing.T) {
+	cfg := Config{Rate: 0.5, Seed: 11}
+	in := New(cfg)
+	exercise(in, 1000)
+	in.ResetCounters()
+	if in.Counters() != (Counters{}) {
+		t.Fatal("counters survive reset")
+	}
+	after := exercise(in, 1000)
+
+	// A fresh injector replaying rounds 0..999 must match the original's
+	// first epoch, not the post-reset epoch (streams are positional).
+	fresh := exercise(New(cfg), 1000)
+	whole := exercise(New(cfg), 2000)
+	if got := fresh.Injected + after.Injected; got != whole.Injected {
+		t.Errorf("epoch injections %d + %d != whole-run %d",
+			fresh.Injected, after.Injected, whole.Injected)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for _, tc := range []struct {
+		o    Outcome
+		want string
+	}{{None, "none"}, {Corrected, "corrected"}, {Detected, "detected"}} {
+		if got := tc.o.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.o, got, tc.want)
+		}
+	}
+}

@@ -114,6 +114,10 @@ type Simulator struct {
 	events    eventHeap
 	fired     uint64
 	nonDaemon int // queued events that keep the simulation alive
+
+	// watchdog, when armed via NewWatchdog, aborts Run/RunUntil on
+	// detected livelock; nil costs one branch per Step.
+	watchdog *Watchdog
 }
 
 // New returns a Simulator with time zero and an empty queue.
@@ -173,14 +177,20 @@ func (s *Simulator) Step() bool {
 	s.now = e.when
 	s.fired++
 	e.fn()
+	if s.watchdog != nil {
+		s.watchdog.onStep()
+	}
 	return true
 }
 
 // Run executes events until the queue drains or until an event would fire
 // after limit; it returns the time of the last executed event. A limit of
-// zero means no limit.
+// zero means no limit. A tripped watchdog stops the run immediately.
 func (s *Simulator) Run(limit Tick) Tick {
 	for {
+		if s.watchdog != nil && s.watchdog.tripped {
+			return s.now
+		}
 		when, ok := s.events.peek()
 		if !ok || (limit == 0 && s.nonDaemon == 0) {
 			return s.now
@@ -194,9 +204,13 @@ func (s *Simulator) Run(limit Tick) Tick {
 }
 
 // RunUntil executes events while cond() remains false, returning true if
-// cond became true and false if the event queue drained first.
+// cond became true and false if the event queue drained first (or a
+// tripped watchdog aborted the run).
 func (s *Simulator) RunUntil(cond func() bool) bool {
 	for !cond() {
+		if s.watchdog != nil && s.watchdog.tripped {
+			return false
+		}
 		if s.nonDaemon == 0 || !s.Step() {
 			return false
 		}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Watchdog detects a simulation that has stopped making forward progress
+// and aborts it with a diagnostic dump instead of letting it hang or
+// silently under-report. Two failure modes are covered:
+//
+//   - Time-window livelock: simulated time advances (events keep firing)
+//     but no request retires within a configurable window. Detected by a
+//     periodic daemon check.
+//   - Same-tick livelock: zero-delay events reschedule each other so the
+//     clock never advances and the window check never fires. Detected by
+//     an event budget — a bound on events fired since the last retire.
+//
+// A third condition, the event queue draining while requests remain
+// outstanding, cannot be observed from inside the kernel (the queue is
+// simply empty); the driving layer reports it via TripDrained.
+//
+// The model layers call Progress() whenever a request retires, and may
+// register dump functions describing their queues; Report() renders the
+// kernel state plus every dump when the watchdog trips. All methods are
+// safe on a nil *Watchdog, so callers keep the nil-check hook pattern.
+type Watchdog struct {
+	s      *Simulator
+	window Tick
+
+	// budget bounds events fired without progress (same-tick livelock).
+	budget uint64
+
+	// outstanding, when set, reports in-flight requests; the watchdog
+	// only trips while it is positive. Without it the kernel's
+	// non-daemon event count is the (coarser) liveness signal.
+	outstanding func() int
+
+	dumps []watchdogDump
+
+	progress        uint64 // retires observed
+	progAtCheck     uint64 // progress at the last window check
+	firedAtProgress uint64 // kernel event count at the last retire
+
+	tripped bool
+	reason  string
+}
+
+type watchdogDump struct {
+	name string
+	fn   func() string
+}
+
+// defaultEventBudget bounds events between retires. Real configurations
+// fire at most a few thousand events per retirement; a runaway same-tick
+// loop crosses this in well under a second of wall time.
+const defaultEventBudget = 4 << 20
+
+// NewWatchdog attaches a watchdog to s. A positive window arms the
+// periodic no-progress check at that simulated-time granularity; a zero
+// window leaves only the event-budget check armed. Only one watchdog per
+// simulator; attaching a second replaces the first.
+func NewWatchdog(s *Simulator, window Tick) *Watchdog {
+	if window < 0 {
+		panic(fmt.Sprintf("sim: negative watchdog window %v", window))
+	}
+	w := &Watchdog{s: s, window: window, budget: defaultEventBudget}
+	s.watchdog = w
+	if window > 0 {
+		s.ScheduleDaemon(window, w.check)
+	}
+	return w
+}
+
+// SetEventBudget overrides the events-without-progress bound (tests).
+func (w *Watchdog) SetEventBudget(n uint64) { w.budget = n }
+
+// SetOutstanding registers the in-flight request count the liveness
+// checks consult; the watchdog only trips while it is positive.
+func (w *Watchdog) SetOutstanding(fn func() int) { w.outstanding = fn }
+
+// AddDump registers a named diagnostic renderer included in Report().
+func (w *Watchdog) AddDump(name string, fn func() string) {
+	w.dumps = append(w.dumps, watchdogDump{name, fn})
+}
+
+// Progress records one retired request. Model layers call it on every
+// demand completion; it resets both liveness checks.
+func (w *Watchdog) Progress() {
+	if w == nil {
+		return
+	}
+	w.progress++
+	w.firedAtProgress = w.s.fired
+}
+
+// Tripped reports whether the watchdog has fired.
+func (w *Watchdog) Tripped() bool { return w != nil && w.tripped }
+
+// busy reports whether requests are outstanding.
+func (w *Watchdog) busy() bool {
+	if w.outstanding != nil {
+		return w.outstanding() > 0
+	}
+	return w.s.nonDaemon > 0
+}
+
+func (w *Watchdog) trip(reason string) {
+	if !w.tripped {
+		w.tripped = true
+		w.reason = reason
+	}
+}
+
+// TripDrained records the drained-queue failure mode: the driving layer
+// found the event queue empty while requests remain outstanding.
+func (w *Watchdog) TripDrained(outstanding int) {
+	if w != nil {
+		w.trip(fmt.Sprintf("event queue drained with %d request(s) outstanding", outstanding))
+	}
+}
+
+// check is the periodic window check (a daemon event, so an armed
+// watchdog never keeps an otherwise-finished simulation alive).
+func (w *Watchdog) check() {
+	if w.tripped {
+		return
+	}
+	if w.progress == w.progAtCheck && w.busy() {
+		w.trip(fmt.Sprintf("no request retired within a %v window", w.window))
+		return
+	}
+	w.progAtCheck = w.progress
+	w.s.ScheduleDaemon(w.window, w.check)
+}
+
+// onStep is the event-budget check, run by the kernel after each event.
+func (w *Watchdog) onStep() {
+	if w.tripped || w.s.fired-w.firedAtProgress <= w.budget {
+		return
+	}
+	if !w.busy() {
+		w.firedAtProgress = w.s.fired
+		return
+	}
+	w.trip(fmt.Sprintf("%d events fired without a request retiring", w.s.fired-w.firedAtProgress))
+}
+
+// Report renders the trip reason, kernel state and every registered
+// dump. It answers "what was the machine doing" without a debugger:
+// queue depths, oldest request ages and timeline cursors come from the
+// dump functions the model layers registered.
+func (w *Watchdog) Report() string {
+	if w == nil {
+		return "watchdog: not armed"
+	}
+	var b strings.Builder
+	reason := w.reason
+	if reason == "" {
+		reason = "not tripped"
+	}
+	fmt.Fprintf(&b, "watchdog: %s\n", reason)
+	fmt.Fprintf(&b, "  kernel: now=%v fired=%d pending=%d retired=%d",
+		w.s.now, w.s.fired, len(w.s.events), w.progress)
+	if when, ok := w.s.events.peek(); ok {
+		fmt.Fprintf(&b, " next-event=%v", when)
+	}
+	b.WriteString("\n")
+	for _, d := range w.dumps {
+		fmt.Fprintf(&b, "  %s: %s\n", d.name, d.fn())
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

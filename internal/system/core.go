@@ -107,6 +107,7 @@ func (c *core) tick() {
 	line, store, thinkNS := c.stream.Next()
 	res := c.hier.Access(line, store)
 	c.executed++
+	c.sys.wd.Progress()
 	delay := sim.NS(thinkNS) + res.Latency
 
 	if res.Missed {
@@ -130,6 +131,7 @@ func (c *core) tick() {
 // completeMiss handles a returning DRAM-cache read.
 func (c *core) completeMiss() {
 	c.outstanding--
+	c.sys.wd.Progress()
 	if c.blocked {
 		c.blocked = false
 		c.scheduleTick(0)

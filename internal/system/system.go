@@ -50,6 +50,13 @@ type Config struct {
 	// RequestsPerCore accesses are measured.
 	RequestsPerCore int
 
+	// Watchdog, when positive, arms a no-progress watchdog on the event
+	// kernel: a run that stops retiring requests for this much simulated
+	// time (or livelocks within one tick) aborts with a diagnostic dump
+	// instead of hanging. Zero disables it. The watchdog only observes —
+	// an armed run's results are bit-identical to an unarmed one.
+	Watchdog sim.Tick
+
 	Seed uint64
 }
 
@@ -136,6 +143,7 @@ type System struct {
 	mm    *backing.Memory
 	ctl   *dramcache.Controller
 	obs   *obs.Observer
+	wd    *sim.Watchdog
 	cores []*core
 }
 
@@ -159,6 +167,14 @@ func New(cfg Config) (*System, error) {
 		sys.obs = obs.New(s, cfg.Obs)
 		ctl.SetObserver(sys.obs)
 		mm.SetObserver(sys.obs)
+	}
+	if cfg.Watchdog > 0 {
+		wd := sim.NewWatchdog(s, cfg.Watchdog)
+		wd.SetOutstanding(sys.outstandingWork)
+		wd.AddDump("cores", sys.describeStall)
+		wd.AddDump("cachectl", ctl.DebugState)
+		wd.AddDump("backing", mm.DebugState)
+		sys.wd = wd
 	}
 	// Workload footprints scale against the nominal cache capacity even
 	// in the no-cache configuration, so runtimes are comparable.
@@ -238,6 +254,18 @@ func (sys *System) wakeStalled() {
 	}
 }
 
+// outstandingWork counts cores that still owe work in the current phase
+// — the watchdog's liveness signal.
+func (sys *System) outstandingWork() int {
+	n := 0
+	for _, c := range sys.cores {
+		if !c.idle() {
+			n++
+		}
+	}
+	return n
+}
+
 // phase runs every core for n accesses and blocks until all are idle.
 func (sys *System) phase(n int) error {
 	for _, c := range sys.cores {
@@ -254,19 +282,32 @@ func (sys *System) phase(n int) error {
 		}
 		return true
 	}
+	abort := func() error {
+		return fmt.Errorf("system: phase aborted at %v: %s", sys.sim.Now(), sys.wd.Report())
+	}
 	for i := 0; i < 1000; i++ {
 		sys.sim.RunUntil(done)
+		if sys.wd.Tripped() {
+			return abort()
+		}
 		if done() {
 			return nil
 		}
 		// Only daemon events remain (refresh-driven flush drains);
 		// advance across a few refresh intervals and retry.
 		sys.sim.Run(sys.sim.Now() + sim.NS(8000))
+		if sys.wd.Tripped() {
+			return abort()
+		}
 		if sys.sim.Pending() == 0 {
 			break
 		}
 	}
 	if !done() {
+		if sys.wd != nil {
+			sys.wd.TripDrained(sys.outstandingWork())
+			return abort()
+		}
 		return fmt.Errorf("system: phase deadlocked at %v: %s", sys.sim.Now(), sys.describeStall())
 	}
 	return nil

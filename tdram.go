@@ -22,6 +22,7 @@ package tdram
 import (
 	"tdram/internal/dramcache"
 	"tdram/internal/experiments"
+	"tdram/internal/fault"
 	"tdram/internal/obs"
 	"tdram/internal/sim"
 	"tdram/internal/system"
@@ -178,10 +179,20 @@ var (
 	Fig13 = experiments.Fig13
 )
 
+// FaultConfig parameterizes deterministic fault injection
+// (CacheConfig.Fault); the zero value disables it.
+type FaultConfig = fault.Config
+
+// FaultCounters aggregates an injected run's fault accounting
+// (Result.Cache.Fault).
+type FaultCounters = fault.Counters
+
 // Standalone studies (each runs its own sweeps).
 var (
 	// PredictorStudy reproduces §V-D (MAP-I on Cascade Lake and Alloy).
 	PredictorStudy = experiments.SecVD
+	// Resilience sweeps fault-injection rates over TDRAM.
+	Resilience = experiments.Resilience
 	// PrefetcherStudy reproduces §V-D's prefetcher discussion.
 	PrefetcherStudy = experiments.Prefetcher
 	// FlushBufferStudy reproduces §V-E (buffer size sensitivity).
