@@ -51,6 +51,19 @@ func geomean(vs []float64) float64 {
 	return math.Exp(s / float64(len(vs)))
 }
 
+// BenchmarkKernelSystem is the event-kernel end-to-end cell: one
+// TDRAM-design run of a single workload, so the measurement is dominated
+// by schedule/fire churn on the simulation core rather than by figure
+// bookkeeping. Its ns/op and allocs/op are the full-system numbers
+// recorded in BENCH_kernel.json.
+func BenchmarkKernelSystem(b *testing.B) {
+	wl := tdram.MustWorkload("ft.C")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchRun(b, tdram.TDRAM, wl)
+	}
+}
+
 // BenchmarkFig01Breakdown regenerates the Fig. 1 access breakdown.
 func BenchmarkFig01Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -38,6 +38,7 @@ type Memory struct {
 	dev   *dram.Device
 	chans []*channelCtl
 	stats Stats
+	free  *mmReq // recycled request records (zero-alloc steady state)
 
 	// OnReadFree / OnWriteFree, when set, are invoked (via a zero-delay
 	// event, outside the scheduler loop) after a previously full read or
@@ -68,19 +69,53 @@ func (m *Memory) Stats() *Stats { return &m.stats }
 // Device exposes the underlying DRAM device (for energy accounting).
 func (m *Memory) Device() *dram.Device { return m.dev }
 
+// runDone dispatches a classic func() completion stored in arg (the
+// convenience Read form). Func values are pointer-shaped, so this boxing
+// does not allocate.
+func runDone(a any, _ sim.Tick) { a.(func())() }
+
 // Read enqueues a read of one line; done fires when data arrives at the
 // controller. It reports false (and does nothing) when the target
 // channel's read queue is full — the caller must retry.
 func (m *Memory) Read(line uint64, done func()) bool {
-	c := m.dev.Coord(line)
-	return m.chans[c.Channel].enqueue(&mmReq{bank: c.Bank, row: c.Row, write: false, arrive: m.sim.Now(), done: done})
+	if done == nil {
+		return m.ReadArg(line, nil, nil)
+	}
+	return m.ReadArg(line, runDone, done)
+}
+
+// ReadArg is Read with the kernel's typed-argument callback form:
+// fn(arg, when) fires when data arrives. The controllers' miss path uses
+// it with their transaction as arg so a backing fetch allocates no
+// completion closure.
+func (m *Memory) ReadArg(line uint64, fn func(any, sim.Tick), arg any) bool {
+	co := m.dev.Coord(line)
+	c := m.chans[co.Channel]
+	if len(c.readQ) >= QueueDepth {
+		m.stats.QueueFullRejects++
+		return false
+	}
+	r := m.getReq()
+	r.bank, r.row, r.write, r.arrive, r.fn, r.arg = co.Bank, co.Row, false, m.sim.Now(), fn, arg
+	c.readQ = append(c.readQ, r)
+	c.schedule()
+	return true
 }
 
 // Write enqueues a posted write of one line (a DRAM-cache fill's eviction
 // or writeback). It reports false when the write queue is full.
 func (m *Memory) Write(line uint64) bool {
-	c := m.dev.Coord(line)
-	return m.chans[c.Channel].enqueue(&mmReq{bank: c.Bank, row: c.Row, write: true, arrive: m.sim.Now()})
+	co := m.dev.Coord(line)
+	c := m.chans[co.Channel]
+	if len(c.writeQ) >= QueueDepth {
+		m.stats.QueueFullRejects++
+		return false
+	}
+	r := m.getReq()
+	r.bank, r.row, r.write, r.arrive = co.Bank, co.Row, true, m.sim.Now()
+	c.writeQ = append(c.writeQ, r)
+	c.schedule()
+	return true
 }
 
 // ReadQueueFree reports whether the read queue routing line has space.
@@ -94,7 +129,28 @@ type mmReq struct {
 	row    int
 	write  bool
 	arrive sim.Tick
-	done   func()
+	fn     func(any, sim.Tick)
+	arg    any
+	next   *mmReq // freelist link while pooled
+}
+
+// getReq pops a pooled request record (or allocates the pool's first).
+// Records recycle through the freelist once issued, so steady-state
+// traffic allocates none.
+func (m *Memory) getReq() *mmReq {
+	r := m.free
+	if r == nil {
+		return &mmReq{}
+	}
+	m.free = r.next
+	r.next = nil
+	return r
+}
+
+// putReq clears a finished request record and returns it to the pool.
+func (m *Memory) putReq(r *mmReq) {
+	*r = mmReq{next: m.free}
+	m.free = r
 }
 
 // channelCtl schedules one DDR5 channel.
@@ -106,20 +162,17 @@ type channelCtl struct {
 	draining bool
 	retryAt  sim.Tick // earliest pending retry event, 0 = none
 	retryGen uint64   // invalidates superseded retry events
+
+	retryFree *retryEv // recycled retry-event records
 }
 
-func (c *channelCtl) enqueue(r *mmReq) bool {
-	q := &c.readQ
-	if r.write {
-		q = &c.writeQ
-	}
-	if len(*q) >= QueueDepth {
-		c.mem.stats.QueueFullRejects++
-		return false
-	}
-	*q = append(*q, r)
-	c.schedule()
-	return true
+// retryEv carries one armed retry's generation through the event queue
+// without a capturing closure; records recycle through a per-channel
+// freelist so retries allocate nothing in steady state.
+type retryEv struct {
+	c    *channelCtl
+	gen  uint64
+	next *retryEv
 }
 
 // schedule issues every command that can start now and arranges a retry
@@ -203,11 +256,11 @@ func (c *channelCtl) schedule() {
 			st.BytesRead += 64
 			st.ReadQueueing.AddTick(bestAt - r.arrive)
 			st.ReadLatency.AddTick(iss.DataEnd - r.arrive)
-			if r.done != nil {
-				req := r
-				c.mem.sim.ScheduleAt(iss.DataEnd, req.done)
+			if r.fn != nil {
+				c.mem.sim.ScheduleArgAt(iss.DataEnd, r.fn, r.arg)
 			}
 		}
+		c.mem.putReq(r)
 	}
 }
 
@@ -223,14 +276,29 @@ func (c *channelCtl) retry(at sim.Tick) {
 	// multiply.
 	c.retryAt = at
 	c.retryGen++
-	gen := c.retryGen
-	c.mem.sim.ScheduleAt(at, func() {
-		if gen != c.retryGen {
-			return
-		}
-		c.retryAt = 0
-		c.schedule()
-	})
+	ev := c.retryFree
+	if ev == nil {
+		ev = &retryEv{c: c}
+	} else {
+		c.retryFree = ev.next
+	}
+	ev.gen = c.retryGen
+	c.mem.sim.ScheduleArgAt(at, channelRetry, ev)
+}
+
+// channelRetry fires an armed retry: stale generations recycle their
+// record and die, the live one re-runs the scheduling loop.
+func channelRetry(a any, _ sim.Tick) {
+	ev := a.(*retryEv)
+	c := ev.c
+	live := ev.gen == c.retryGen
+	ev.next = c.retryFree
+	c.retryFree = ev
+	if !live {
+		return
+	}
+	c.retryAt = 0
+	c.schedule()
 }
 
 // Pending reports queued requests across channels (tests/diagnostics).

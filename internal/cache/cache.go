@@ -9,6 +9,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"tdram/internal/mem"
 	"tdram/internal/sim"
@@ -38,6 +39,20 @@ type Cache struct {
 	lines   []line // sets × ways
 	lruTick uint64
 
+	// tags mirrors lines for the hit scan only: entry w holds tag+1 when
+	// lines[w] is valid and 0 otherwise, so the scan compares one compact
+	// word per way (a whole 8-way set fits in one host cache line) instead
+	// of walking the 24-byte bookkeeping structs. Invariant: tags[i] != 0
+	// exactly when lines[i].valid, and then tags[i] == lines[i].tag+1.
+	tags []uint64
+
+	// Power-of-two set decode (the common configuration): index by mask
+	// and shift instead of modulo and divide, which dominate the access
+	// cost otherwise. pow2 false falls back to the general arithmetic.
+	pow2  bool
+	mask  uint64
+	shift uint
+
 	Hits, Misses, Evictions, DirtyEvictions uint64
 }
 
@@ -52,7 +67,13 @@ func New(cfg Config) (*Cache, error) {
 			cfg.Name, cfg.Size, cfg.Ways, mem.LineSize)
 	}
 	sets := int(lines) / cfg.Ways
-	return &Cache{cfg: cfg, sets: sets, lines: make([]line, lines)}, nil
+	c := &Cache{cfg: cfg, sets: sets, lines: make([]line, lines), tags: make([]uint64, lines)}
+	if sets&(sets-1) == 0 {
+		c.pow2 = true
+		c.mask = uint64(sets - 1)
+		c.shift = uint(bits.TrailingZeros(uint(sets)))
+	}
+	return c, nil
 }
 
 // Config returns the construction parameters.
@@ -62,6 +83,9 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Sets() int { return c.sets }
 
 func (c *Cache) set(lineAddr uint64) (int, uint64) {
+	if c.pow2 {
+		return int(lineAddr & c.mask), lineAddr >> c.shift
+	}
 	set := int(lineAddr % uint64(c.sets))
 	tag := lineAddr / uint64(c.sets)
 	return set, tag
@@ -80,8 +104,9 @@ type Result struct {
 func (c *Cache) Lookup(lineAddr uint64) bool {
 	set, tag := c.set(lineAddr)
 	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		if l := &c.lines[base+w]; l.valid && l.tag == tag {
+	key := tag + 1
+	for _, tv := range c.tags[base : base+c.cfg.Ways] {
+		if tv == key {
 			return true
 		}
 	}
@@ -94,11 +119,16 @@ func (c *Cache) Lookup(lineAddr uint64) bool {
 func (c *Cache) Access(lineAddr uint64, dirty bool) Result {
 	set, tag := c.set(lineAddr)
 	base := set * c.cfg.Ways
+	ways := c.lines[base : base+c.cfg.Ways]
+	tags := c.tags[base : base+c.cfg.Ways]
+	key := tag + 1
 	c.lruTick++
-	var victim *line
-	for w := 0; w < c.cfg.Ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
+	// Hit scan first over the compact tag words — the overwhelmingly
+	// common case pays for nothing else; victim selection only runs once
+	// the miss is established.
+	for w, tv := range tags {
+		if tv == key {
+			l := &ways[w]
 			l.lru = c.lruTick
 			if dirty {
 				l.dirty = true
@@ -106,12 +136,23 @@ func (c *Cache) Access(lineAddr uint64, dirty bool) Result {
 			c.Hits++
 			return Result{Hit: true}
 		}
-		if victim == nil || !l.valid || (victim.valid && l.lru < victim.lru) {
-			if victim == nil || victim.valid {
-				victim = l
+	}
+	// Victim: the first invalid way, else the least recently used (ties
+	// break toward the lowest way, matching the original combined scan).
+	vw := 0
+	if ways[0].valid {
+		for w := 1; w < len(ways); w++ {
+			l := &ways[w]
+			if !l.valid {
+				vw = w
+				break
+			}
+			if l.lru < ways[vw].lru {
+				vw = w
 			}
 		}
 	}
+	victim := &ways[vw]
 	c.Misses++
 	res := Result{}
 	if victim.valid {
@@ -124,6 +165,7 @@ func (c *Cache) Access(lineAddr uint64, dirty bool) Result {
 		}
 	}
 	*victim = line{tag: tag, valid: true, dirty: dirty, lru: c.lruTick}
+	tags[vw] = key
 	return res
 }
 
@@ -131,11 +173,13 @@ func (c *Cache) Access(lineAddr uint64, dirty bool) Result {
 func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
 	set, tag := c.set(lineAddr)
 	base := set * c.cfg.Ways
+	key := tag + 1
 	for w := 0; w < c.cfg.Ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
+		if c.tags[base+w] == key {
+			l := &c.lines[base+w]
 			present, dirty = true, l.dirty
 			l.valid = false
+			c.tags[base+w] = 0
 			return
 		}
 	}
@@ -148,9 +192,10 @@ func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
 func (c *Cache) MarkDirty(lineAddr uint64) bool {
 	set, tag := c.set(lineAddr)
 	base := set * c.cfg.Ways
+	key := tag + 1
 	for w := 0; w < c.cfg.Ways; w++ {
-		l := &c.lines[base+w]
-		if l.valid && l.tag == tag {
+		if c.tags[base+w] == key {
+			l := &c.lines[base+w]
 			l.dirty = true
 			l.lru = c.lruTick
 			return true

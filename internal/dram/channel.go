@@ -135,7 +135,7 @@ func NewChannel(s *sim.Simulator, p *Params, index int) *Channel {
 		c.actWindow[i] = distantPast
 	}
 	if p.TREFI > 0 && p.TRFC > 0 {
-		c.sim.ScheduleDaemon(p.TREFI, c.refresh)
+		c.sim.ScheduleDaemonArg(p.TREFI, refreshEv, c)
 	}
 	return c
 }
@@ -175,8 +175,12 @@ func (c *Channel) refresh() {
 	if c.OnRefresh != nil {
 		c.OnRefresh(now, end)
 	}
-	c.sim.ScheduleDaemon(c.p.TREFI, c.refresh)
+	c.sim.ScheduleDaemonArg(c.p.TREFI, refreshEv, c)
 }
+
+// refreshEv dispatches the periodic refresh without allocating a
+// method-value closure on every self-reschedule.
+func refreshEv(a any, _ sim.Tick) { a.(*Channel).refresh() }
 
 // burst returns the DQ occupancy for op.
 func (c *Channel) burst(op Op) sim.Tick {

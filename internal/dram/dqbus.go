@@ -64,6 +64,14 @@ func (b *DQBus) FirstFree(earliest, dur sim.Tick, dir Dir) sim.Tick {
 	if dur <= 0 {
 		return earliest
 	}
+	// Tail fast path: command streams mostly move forward, so most queries
+	// start after every tracked transfer — only the turnaround margin
+	// against the last one can still constrain them.
+	if n := len(b.busy); n == 0 {
+		return earliest
+	} else if last := &b.busy[n-1]; earliest >= last.end+b.gapBefore(last.dir, dir) {
+		return earliest
+	}
 	start := earliest
 	for i := 0; i <= len(b.busy); i++ {
 		// Margin required after the previous interval.
@@ -145,7 +153,11 @@ func (b *DQBus) Release(now sim.Tick) {
 		i++
 	}
 	if i > 0 {
-		b.busy = b.busy[i:]
+		// Compact in place to keep the slice anchored at the array's
+		// start; re-slicing forward would leak append capacity and force
+		// a reallocation on nearly every future Reserve.
+		n := copy(b.busy, b.busy[i:])
+		b.busy = b.busy[:n]
 	}
 }
 

@@ -27,14 +27,23 @@ const (
 	txnVictimRead
 )
 
-// txn is one queued controller transaction.
+// txn is one queued controller transaction. It carries its owning
+// channel controller so it can ride through the event kernel as a
+// typed-argument callback's argument — the hot completion paths schedule
+// (package function, *txn) pairs instead of capturing closures, which
+// keeps the per-event allocation count at zero.
 type txn struct {
+	cc     *chanCtl
 	kind   txnKind
 	req    *mem.Request // nil for fills
 	line   uint64
 	bank   int
 	row    int
 	arrive sim.Tick
+
+	// fill records whether the backing fetch's data should be written
+	// into the cache when it arrives (false for BEAR's bypassed fills).
+	fill bool
 
 	outcomeKnown bool
 	outcome      mem.Outcome
@@ -82,9 +91,11 @@ type chanCtl struct {
 
 	flush []flushEntry // victim lines parked in the on-die flush buffer
 
-	draining bool
-	retryAt  sim.Tick
-	retryGen uint64
+	draining  bool
+	retryAt   sim.Tick
+	retryGen  uint64
+	retryFree *retryEv // recycled retry-event records
+	lineFree  *lineEv  // recycled deferred-writeback records
 
 	// Perfetto tracks; zero when tracing is off (see observe.go).
 	trkReadQ  obs.TrackID
@@ -107,7 +118,7 @@ func (cc *chanCtl) acceptRead(req *mem.Request, bank int) bool {
 	if len(cc.readQ) >= ReadQueueDepth {
 		return false
 	}
-	t := &txn{kind: txnRead, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now()}
+	t := &txn{cc: cc, kind: txnRead, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now()}
 	if cc.ctl.predictor != nil {
 		if !cc.ctl.predictor.Predict(req.Core, line) && cc.ctl.mm.ReadQueueFree(line) {
 			// Predicted miss: start the backing fetch in parallel.
@@ -118,7 +129,7 @@ func (cc *chanCtl) acceptRead(req *mem.Request, bank int) bool {
 			cc.ctl.mmMeter.Acts++
 			cc.ctl.mmMeter.Cols++
 			cc.ctl.mmMeter.Bytes += 64
-			cc.ctl.mm.Read(line, func() { cc.predictorData(t) })
+			cc.ctl.mm.ReadArg(line, predictorDataEv, t)
 		}
 	}
 	cc.readQ = append(cc.readQ, t)
@@ -139,19 +150,19 @@ func (cc *chanCtl) acceptReadIdeal(req *mem.Request, line uint64, bank int) bool
 	switch outcome {
 	case mem.ReadHit:
 		cc.readQ = append(cc.readQ, &txn{
-			kind: txnRead, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
+			cc: cc, kind: txnRead, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
 			outcomeKnown: true, outcome: outcome,
 		})
 		cc.pass()
 	case mem.ReadMissClean:
 		cc.ctl.markInflight(line)
-		cc.ctl.missFetch(req, line, true)
+		cc.ctl.missFetch(&txn{cc: cc, req: req, line: line, fill: true})
 	case mem.ReadMissDirty:
 		cc.ctl.markInflight(line)
-		cc.ctl.missFetch(req, line, true)
+		cc.ctl.missFetch(&txn{cc: cc, req: req, line: line, fill: true})
 		vb := cc.bankOf(victim)
 		cc.readQ = append(cc.readQ, &txn{
-			kind: txnVictimRead, line: victim, bank: vb, row: cc.rowOf(victim), arrive: cc.now(),
+			cc: cc, kind: txnVictimRead, line: victim, bank: vb, row: cc.rowOf(victim), arrive: cc.now(),
 		})
 		cc.pass()
 	}
@@ -178,7 +189,7 @@ func (cc *chanCtl) acceptWrite(req *mem.Request, bank int) bool {
 			cc.observeOutcome(outcome, cc.now())
 			cc.ctl.bearObserve(line, outcome)
 			cc.writeQ = append(cc.writeQ, &txn{
-				kind: txnWrite, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
+				cc: cc, kind: txnWrite, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
 				outcomeKnown: true, outcome: outcome,
 			})
 			cc.pass()
@@ -190,7 +201,7 @@ func (cc *chanCtl) acceptWrite(req *mem.Request, bank int) bool {
 			return false
 		}
 		cc.writeQ = append(cc.writeQ, &txn{
-			kind: txnWrite, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
+			cc: cc, kind: txnWrite, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
 		})
 		cc.pass()
 		return true
@@ -202,14 +213,14 @@ func (cc *chanCtl) acceptWrite(req *mem.Request, bank int) bool {
 		cc.st().Outcomes.Add(outcome)
 		cc.observeOutcome(outcome, cc.now())
 		w := &txn{
-			kind: txnWrite, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
+			cc: cc, kind: txnWrite, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
 			outcomeKnown: true, outcome: outcome,
 		}
 		if outcome == mem.WriteMissDirty {
 			if len(cc.readQ) >= ReadQueueDepth {
 				return false
 			}
-			v := &txn{kind: txnVictimRead, line: victim, bank: cc.bankOf(victim), row: cc.rowOf(victim), arrive: cc.now()}
+			v := &txn{cc: cc, kind: txnVictimRead, line: victim, bank: cc.bankOf(victim), row: cc.rowOf(victim), arrive: cc.now()}
 			w.dep = v
 			cc.readQ = append(cc.readQ, v)
 		}
@@ -227,7 +238,7 @@ func (cc *chanCtl) acceptWriteTagRead(req *mem.Request, line uint64, bank int) b
 	}
 	cc.st().WriteTagReads++
 	cc.readQ = append(cc.readQ, &txn{
-		kind: txnWriteTagRead, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
+		cc: cc, kind: txnWriteTagRead, req: req, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now(),
 	})
 	cc.pass()
 	return true
@@ -235,7 +246,7 @@ func (cc *chanCtl) acceptWriteTagRead(req *mem.Request, line uint64, bank int) b
 
 // enqueueFill queues the write that installs fetched miss data.
 func (cc *chanCtl) enqueueFill(line uint64, bank int) {
-	t := &txn{kind: txnFill, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now()}
+	t := &txn{cc: cc, kind: txnFill, line: line, bank: bank, row: cc.rowOf(line), arrive: cc.now()}
 	if len(cc.writeQ) >= WriteQueueDepth {
 		cc.overflow = append(cc.overflow, t)
 		return
@@ -419,17 +430,42 @@ func (cc *chanCtl) scheduleRetry(now sim.Tick) {
 		return
 	}
 	// Generation-tagged so superseded retry events die without spawning
-	// further retries.
+	// further retries. The generation rides in a pooled record rather
+	// than a captured closure, so arming a retry allocates nothing in
+	// steady state.
 	cc.retryAt = best
 	cc.retryGen++
-	gen := cc.retryGen
-	cc.ctl.sim.ScheduleAt(best, func() {
-		if gen != cc.retryGen {
-			return
-		}
-		cc.retryAt = 0
-		cc.pass()
-	})
+	ev := cc.retryFree
+	if ev == nil {
+		ev = &retryEv{cc: cc}
+	} else {
+		cc.retryFree = ev.next
+	}
+	ev.gen = cc.retryGen
+	cc.ctl.sim.ScheduleArgAt(best, chanRetryEv, ev)
+}
+
+// retryEv carries one armed retry's generation through the event kernel;
+// records recycle through a per-channel freelist.
+type retryEv struct {
+	cc   *chanCtl
+	gen  uint64
+	next *retryEv
+}
+
+// chanRetryEv fires an armed retry: stale generations recycle their
+// record and die, the live one re-runs the scheduling pass.
+func chanRetryEv(a any, _ sim.Tick) {
+	ev := a.(*retryEv)
+	cc := ev.cc
+	live := ev.gen == cc.retryGen
+	ev.next = cc.retryFree
+	cc.retryFree = ev
+	if !live {
+		return
+	}
+	cc.retryAt = 0
+	cc.pass()
 }
 
 // faultRetry handles a detected (SECDED/RS-uncorrectable) error on t's
@@ -439,7 +475,7 @@ func (cc *chanCtl) scheduleRetry(now sim.Tick) {
 // budget it reports false, the error is charged against the set, and the
 // access proceeds with whatever the (corrupt) device returned so the
 // request still completes.
-func (cc *chanCtl) faultRetry(t *txn, iss dram.Issue, write bool) bool {
+func (cc *chanCtl) faultRetry(t *txn, iss dram.Issue) bool {
 	in := cc.ctl.fault
 	if int(t.retries) >= in.RetryBudget() {
 		in.NoteExhausted()
@@ -456,16 +492,23 @@ func (cc *chanCtl) faultRetry(t *txn, iss dram.Issue, write bool) bool {
 	}
 	backoff := cc.ch.Params().TBURST << (t.retries - 1)
 	cc.ctl.retryingTxns++
-	cc.ctl.sim.ScheduleAt(at+backoff, func() {
-		cc.ctl.retryingTxns--
-		if write {
-			cc.writeQ = append(cc.writeQ, t)
-		} else {
-			cc.readQ = append(cc.readQ, t)
-		}
-		cc.pass()
-	})
+	cc.ctl.sim.ScheduleArgAt(at+backoff, faultRequeueEv, t)
 	return true
+}
+
+// faultRequeueEv re-queues a transaction after its fault-retry backoff.
+// ActWr data writes (txnWrite) return to the write queue; every other
+// retried kind is a read-side access.
+func faultRequeueEv(a any, _ sim.Tick) {
+	t := a.(*txn)
+	cc := t.cc
+	cc.ctl.retryingTxns--
+	if t.kind == txnWrite {
+		cc.writeQ = append(cc.writeQ, t)
+	} else {
+		cc.readQ = append(cc.readQ, t)
+	}
+	cc.pass()
 }
 
 // issue commits one transaction's device operation and wires its

@@ -15,10 +15,10 @@ import (
 func (cc *chanCtl) readFault(t *txn, iss dram.Issue) bool {
 	in := cc.ctl.fault
 	if cc.tagDevice() && !t.outcomeKnown && in.TagRead() == fault.Detected {
-		return cc.faultRetry(t, iss, false)
+		return cc.faultRetry(t, iss)
 	}
 	if in.DataBeat() == fault.Detected {
-		return cc.faultRetry(t, iss, false)
+		return cc.faultRetry(t, iss)
 	}
 	return false
 }
@@ -67,9 +67,13 @@ func (cc *chanCtl) recordTag(t *txn, at sim.Tick) {
 	if t.kind != txnRead {
 		return
 	}
-	cc.ctl.sim.ScheduleAt(at, func() {
-		cc.ctl.sampleTagCheck(at - t.arrive)
-	})
+	cc.ctl.sim.ScheduleArgAt(at, recordTagEv, t)
+}
+
+// recordTagEv samples a tag-check latency at its arrival time.
+func recordTagEv(a any, when sim.Tick) {
+	t := a.(*txn)
+	t.cc.ctl.sampleTagCheck(when - t.arrive)
 }
 
 // meterColRead accounts one column read moving bytes to the controller.
@@ -99,21 +103,14 @@ func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
 			cc.meterColRead()
 			tr.DemandBytes += 64
 			tr.OverheadBytes += cfg.ReadBytes - 64
-			cc.completeReadAt(t.req, iss.DataEnd)
+			cc.completeReadAt(t, iss.DataEnd)
 		case mem.ReadMissDirty:
 			// Probed miss-dirty: this access fetches the dirty victim;
 			// the demand's backing fetch started at probe time.
 			cc.meterColRead()
 			tr.VictimBytes += 64
 			tr.OverheadBytes += cfg.ReadBytes - 64
-			victim := t.victim
-			cc.ctl.sim.ScheduleAt(iss.DataEnd, func() {
-				cc.ctl.writeback(victim)
-				t.victimDone = true
-				if t.mmArrived {
-					cc.ctl.dispatchFill(t.line)
-				}
-			})
+			cc.ctl.sim.ScheduleArgAt(iss.DataEnd, probedVictimEv, t)
 		default:
 			panic("dramcache: unexpected pre-known read outcome " + t.outcome.String())
 		}
@@ -145,7 +142,7 @@ func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
 		cc.meterColRead()
 		tr.DemandBytes += 64
 		tr.OverheadBytes += cfg.ReadBytes - 64
-		cc.completeReadAt(t.req, iss.DataEnd)
+		cc.completeReadAt(t, iss.DataEnd)
 
 	case mem.ReadMissClean:
 		switch cfg.Design {
@@ -174,7 +171,7 @@ func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
 		tr.VictimBytes += 64
 		tr.OverheadBytes += cfg.ReadBytes - 64
 		cc.ctl.markInflight(t.line)
-		cc.ctl.sim.ScheduleAt(iss.DataEnd, func() { cc.ctl.writeback(victim) })
+		cc.ctl.sim.ScheduleArgAt(iss.DataEnd, writebackVictimEv, t)
 		cc.resolveMissRead(t, tagAt, true)
 	}
 }
@@ -185,17 +182,53 @@ func (cc *chanCtl) resolveMissRead(t *txn, tagAt sim.Tick, fill bool) {
 	if t.predStarted {
 		// §V-D: the predictor already launched the fetch; the demand
 		// finishes when both the tag result and the data are in.
-		cc.ctl.sim.ScheduleAt(tagAt, func() {
-			t.tagSaidMiss = true
-			if t.predDataAt != 0 {
-				cc.finishPredictedMiss(t)
-			}
-		})
+		cc.ctl.sim.ScheduleArgAt(tagAt, tagMissResultEv, t)
 		return
 	}
-	req := t.req
-	line := t.line
-	cc.ctl.sim.ScheduleAt(tagAt, func() { cc.ctl.missFetch(req, line, fill) })
+	t.fill = fill
+	cc.ctl.sim.ScheduleArgAt(tagAt, missFetchEv, t)
+}
+
+// probedVictimEv finishes a probed miss-dirty's victim readout: the
+// victim goes to the writeback queue, and the fill dispatches once the
+// backing data has also arrived.
+func probedVictimEv(a any, _ sim.Tick) {
+	t := a.(*txn)
+	cc := t.cc
+	cc.ctl.writeback(t.victim)
+	t.victimDone = true
+	if t.mmArrived {
+		cc.ctl.dispatchFill(t.line)
+	}
+}
+
+// writebackVictimEv queues a read-miss-dirty's victim once its data
+// finished streaming to the controller.
+func writebackVictimEv(a any, _ sim.Tick) {
+	t := a.(*txn)
+	t.cc.ctl.writeback(t.victim)
+}
+
+// tagMissResultEv delivers a predicted-miss read's tag result (§V-D).
+func tagMissResultEv(a any, _ sim.Tick) {
+	t := a.(*txn)
+	t.tagSaidMiss = true
+	if t.predDataAt != 0 {
+		t.cc.finishPredictedMiss(t)
+	}
+}
+
+// missFetchEv starts a read miss's backing fetch once the tag result is
+// at the controller.
+func missFetchEv(a any, _ sim.Tick) {
+	t := a.(*txn)
+	t.cc.ctl.missFetch(t)
+}
+
+// predictorDataEv records the arrival of a predicted-miss prefetch.
+func predictorDataEv(a any, _ sim.Tick) {
+	t := a.(*txn)
+	t.cc.predictorData(t)
 }
 
 // predictorData records the arrival of a predicted-miss prefetch.
@@ -207,27 +240,32 @@ func (cc *chanCtl) predictorData(t *txn) {
 }
 
 func (cc *chanCtl) finishPredictedMiss(t *txn) {
-	cc.completeReadAt(t.req, cc.now())
+	cc.completeReadAt(t, cc.now())
 	cc.ctl.resolveInflight(t.line)
 	cc.ctl.dispatchFill(t.line)
 	t.tagSaidMiss = false // guard against double finish
 	t.predStarted = false
 }
 
-// completeReadAt finishes a demand read at the given time.
-func (cc *chanCtl) completeReadAt(req *mem.Request, at sim.Tick) {
-	cc.ctl.sim.ScheduleAt(at, func() {
-		cc.ctl.sampleReadLatency(at - req.Arrive)
-		req.Complete()
-		cc.ctl.retryUpstream()
-	})
+// completeReadAt finishes t's demand read at the given time.
+func (cc *chanCtl) completeReadAt(t *txn, at sim.Tick) {
+	cc.ctl.sim.ScheduleArgAt(at, completeReadEv, t)
+}
+
+// completeReadEv responds to a demand read at its data-arrival time.
+func completeReadEv(a any, when sim.Tick) {
+	t := a.(*txn)
+	c := t.cc.ctl
+	c.sampleReadLatency(when - t.req.Arrive)
+	t.req.Complete()
+	c.retryUpstream()
 }
 
 // issueWriteTagRead handles the CL-family tag-check read for a write.
 func (cc *chanCtl) issueWriteTagRead(t *txn, iss dram.Issue) {
 	cfg := cc.cfg()
 	tr := &cc.st().Traffic
-	if cc.ctl.fault != nil && cc.ctl.fault.DataBeat() == fault.Detected && cc.faultRetry(t, iss, false) {
+	if cc.ctl.fault != nil && cc.ctl.fault.DataBeat() == fault.Detected && cc.faultRetry(t, iss) {
 		return
 	}
 	cc.st().ReadQueueing.AddTick(iss.At - t.arrive)
@@ -246,15 +284,22 @@ func (cc *chanCtl) issueWriteTagRead(t *txn, iss dram.Issue) {
 	tr.OverheadBytes += cfg.ReadBytes - 64
 	cc.recordTag(t, iss.DataEnd)
 	w := &txn{
-		kind: txnWrite, req: t.req, line: t.line, bank: t.bank, row: t.row, arrive: cc.now(),
-		outcomeKnown: true, outcome: outcome,
+		cc: cc, kind: txnWrite, req: t.req, line: t.line, bank: t.bank, row: t.row, arrive: cc.now(),
+		outcomeKnown: true, outcome: outcome, victim: victim,
 	}
-	cc.ctl.sim.ScheduleAt(iss.DataEnd, func() {
-		if outcome == mem.WriteMissDirty {
-			cc.ctl.writeback(victim)
-		}
-		cc.enqueueWriteTxn(w)
-	})
+	cc.ctl.sim.ScheduleArgAt(iss.DataEnd, writeTagDoneEv, w)
+}
+
+// writeTagDoneEv acts on a CL-family write's tag-read result at data
+// arrival: a dirty victim heads to the writeback queue, and the demand's
+// data write enters the write queue.
+func writeTagDoneEv(a any, _ sim.Tick) {
+	w := a.(*txn)
+	cc := w.cc
+	if w.outcome == mem.WriteMissDirty {
+		cc.ctl.writeback(w.victim)
+	}
+	cc.enqueueWriteTxn(w)
 }
 
 // enqueueWriteTxn adds a data write, overflowing if the queue is full.
@@ -275,7 +320,7 @@ func (cc *chanCtl) issueWrite(t *txn, iss dram.Issue) {
 		// NDC/TDRAM ActWr: the tag check happens in-DRAM at commit. A
 		// detected tag-mat error retries the whole ActWr (the compare,
 		// hence the conditional write, cannot be trusted).
-		if cc.ctl.fault != nil && cc.ctl.fault.TagRead() == fault.Detected && cc.faultRetry(t, iss, true) {
+		if cc.ctl.fault != nil && cc.ctl.fault.TagRead() == fault.Detected && cc.faultRetry(t, iss) {
 			return
 		}
 		outcome, victim, _ := cc.ctl.tags.access(t.line, true, true)
@@ -309,19 +354,24 @@ func (cc *chanCtl) issueFill(t *txn, iss dram.Issue) {
 // issueVictimRead fetches a dirty victim's data (Ideal design).
 func (cc *chanCtl) issueVictimRead(t *txn, iss dram.Issue) {
 	cfg := cc.cfg()
-	if cc.ctl.fault != nil && cc.ctl.fault.DataBeat() == fault.Detected && cc.faultRetry(t, iss, false) {
+	if cc.ctl.fault != nil && cc.ctl.fault.DataBeat() == fault.Detected && cc.faultRetry(t, iss) {
 		return
 	}
 	cc.st().ReadQueueing.AddTick(iss.At - t.arrive)
 	cc.meterColRead()
 	cc.st().Traffic.VictimBytes += 64
 	cc.st().Traffic.OverheadBytes += cfg.ReadBytes - 64
-	line := t.line
-	cc.ctl.sim.ScheduleAt(iss.DataEnd, func() {
-		cc.ctl.writeback(line)
-		t.done = true
-		cc.pass()
-	})
+	cc.ctl.sim.ScheduleArgAt(iss.DataEnd, victimReadDoneEv, t)
+}
+
+// victimReadDoneEv completes an Ideal-design victim read: the line heads
+// to the writeback queue and dependent writes become issuable.
+func victimReadDoneEv(a any, _ sim.Tick) {
+	t := a.(*txn)
+	cc := t.cc
+	cc.ctl.writeback(t.line)
+	t.done = true
+	cc.pass()
 }
 
 // dispatchFill enqueues the fill write for a line on its home channel.
@@ -373,10 +423,15 @@ func (cc *chanCtl) tryProbe(now sim.Tick) bool {
 	if !outcome.IsHit() {
 		cc.ctl.markInflight(pick.line)
 	}
-	t := pick
 	hmAt := iss.HMAt + cc.hmRetransmit()
-	cc.ctl.sim.ScheduleAt(hmAt, func() { cc.probeResult(t, hmAt) })
+	cc.ctl.sim.ScheduleArgAt(hmAt, probeResultEv, pick)
 	return true
+}
+
+// probeResultEv delivers a probe's HM-bus result.
+func probeResultEv(a any, when sim.Tick) {
+	t := a.(*txn)
+	t.cc.probeResult(t, when)
 }
 
 // probeResult acts on a probe's HM-bus result.
@@ -393,33 +448,39 @@ func (cc *chanCtl) probeResult(t *txn, at sim.Tick) {
 		cc.st().ProbeMissClean++
 		cc.st().ReadQueueing.AddTick(at - t.arrive)
 		cc.remove(&cc.readQ, t)
-		cc.ctl.missFetch(t.req, t.line, true)
+		t.fill = true
+		cc.ctl.missFetch(t)
 		cc.pass()
 	case mem.ReadMissDirty:
 		// Start the backing fetch now; the MAIN access still must read
 		// the dirty victim before the fill may overwrite it.
 		cc.st().ProbeMissDirty++
-		req, line := t.req, t.line
 		cc.ctl.stats.MMReads++
 		cc.ctl.stats.Traffic.MMDemandBytes += 64
 		cc.ctl.mmMeter.Acts++
 		cc.ctl.mmMeter.Cols++
 		cc.ctl.mmMeter.Bytes += 64
-		done := func() {
-			cc.ctl.sampleReadLatency(cc.ctl.sim.Now() - req.Arrive)
-			req.Complete()
-			cc.ctl.resolveInflight(line)
-			t.mmArrived = true
-			if t.victimDone {
-				cc.ctl.dispatchFill(line)
-			}
-			cc.ctl.retryUpstream()
-		}
-		if !cc.ctl.mm.Read(line, done) {
-			cc.ctl.parkMMRead(pendingMM{line: line, done: done})
+		if !cc.ctl.mm.ReadArg(t.line, probeMissDataEv, t) {
+			cc.ctl.parkMMRead(pendingMM{line: t.line, fn: probeMissDataEv, arg: t})
 		}
 		cc.pass()
 	}
+}
+
+// probeMissDataEv completes a probed miss-dirty's backing fetch: the
+// demand is answered from the controller, and the fill dispatches once
+// the victim has also been read out.
+func probeMissDataEv(a any, _ sim.Tick) {
+	t := a.(*txn)
+	c := t.cc.ctl
+	c.sampleReadLatency(c.sim.Now() - t.req.Arrive)
+	t.req.Complete()
+	c.resolveInflight(t.line)
+	t.mmArrived = true
+	if t.victimDone {
+		c.dispatchFill(t.line)
+	}
+	c.retryUpstream()
 }
 
 // pushFlush parks a dirty victim in the flush buffer.
@@ -472,7 +533,37 @@ func (cc *chanCtl) drainIdleSlot(at sim.Tick) {
 	cc.observeFlushDrain("idle-slot")
 	cc.st().Traffic.VictimBytes += 64
 	cc.ctl.meter.Bytes += 64
-	cc.ctl.sim.ScheduleAt(at, func() { cc.ctl.writeback(line) })
+	cc.scheduleWriteback(at, line)
+}
+
+// lineEv carries a deferred writeback's line through the event kernel;
+// records recycle through a per-channel freelist so idle-slot drains
+// allocate nothing in steady state.
+type lineEv struct {
+	cc   *chanCtl
+	line uint64
+	next *lineEv
+}
+
+// scheduleWriteback queues line for the backing store at time at.
+func (cc *chanCtl) scheduleWriteback(at sim.Tick, line uint64) {
+	ev := cc.lineFree
+	if ev == nil {
+		ev = &lineEv{cc: cc}
+	} else {
+		cc.lineFree = ev.next
+	}
+	ev.line = line
+	cc.ctl.sim.ScheduleArgAt(at, writebackLineEv, ev)
+}
+
+// writebackLineEv fires a deferred writeback and recycles its record.
+func writebackLineEv(a any, _ sim.Tick) {
+	ev := a.(*lineEv)
+	cc, line := ev.cc, ev.line
+	ev.next = cc.lineFree
+	cc.lineFree = ev
+	cc.ctl.writeback(line)
 }
 
 // refreshDrain streams flush-buffer entries to the controller during a

@@ -156,6 +156,12 @@ type Controller struct {
 	// obs is the observability hook; nil (the default) disables it.
 	obs *obs.Observer
 
+	// Prebound method-value callbacks for backing-fetch completions whose
+	// argument is not a *txn (bound once in New, so the per-request hot
+	// paths never allocate a method-value closure).
+	noCacheDoneFn  func(any, sim.Tick)
+	prefetchDoneFn func(any, sim.Tick)
+
 	meter   *energy.Meter // cache device
 	mmMeter *energy.Meter
 	// Device-counter snapshots at the last ResetStats, so meters report
@@ -175,9 +181,12 @@ type Controller struct {
 	OnAccept func(*mem.Request)
 }
 
+// pendingMM is one backing fetch parked behind a full read queue,
+// carrying the typed-argument completion it will be re-offered with.
 type pendingMM struct {
 	line uint64
-	done func()
+	fn   func(any, sim.Tick)
+	arg  any
 }
 
 // New builds a controller for cfg on simulator s against backing store
@@ -195,6 +204,8 @@ func New(s *sim.Simulator, cfg Config, mm *backing.Memory) (*Controller, error) 
 		mmMeter:  energy.NewMeter(energy.DDR5(), mm.Device().Channels()),
 		stats:    newStats(),
 	}
+	c.noCacheDoneFn = c.noCacheDone
+	c.prefetchDoneFn = c.prefetchDone
 	// Backpressured backing-store traffic rearms from the queues' free
 	// events instead of polling.
 	mm.OnReadFree = func() {
@@ -295,17 +306,20 @@ func (c *Controller) maybePrefetch(core int, line uint64) {
 		c.markInflight(target)
 		c.prefetched[target] = struct{}{}
 		c.stats.PrefetchesIssued++
-		t := target
 		c.stats.MMReads++
 		c.stats.Traffic.MMDemandBytes += 64
 		c.mmMeter.Acts++
 		c.mmMeter.Cols++
 		c.mmMeter.Bytes += 64
-		c.mm.Read(t, func() {
-			c.resolveInflight(t)
-			c.dispatchFill(t)
-		})
+		c.mm.ReadArg(target, c.prefetchDoneFn, target)
 	}
+}
+
+// prefetchDone completes a prefetcher-issued backing fetch.
+func (c *Controller) prefetchDone(a any, _ sim.Tick) {
+	line := a.(uint64)
+	c.resolveInflight(line)
+	c.dispatchFill(line)
 }
 
 // scorePrefetch marks a prefetched line as referenced.
@@ -515,13 +529,7 @@ func (c *Controller) countDemand(req *mem.Request) {
 func (c *Controller) enqueueNoCache(req *mem.Request) bool {
 	line := req.Line()
 	if req.Kind == mem.Read {
-		arrive := c.sim.Now()
-		ok := c.mm.Read(line, func() {
-			c.sampleReadLatency(c.sim.Now() - arrive)
-			req.Complete()
-			c.retryUpstream()
-		})
-		if !ok {
+		if !c.mm.ReadArg(line, c.noCacheDoneFn, req) {
 			c.stats.QueueRejects++
 			return false
 		}
@@ -547,34 +555,51 @@ func (c *Controller) enqueueNoCache(req *mem.Request) bool {
 	return true
 }
 
+// noCacheDone completes a bypassed demand read from the backing store.
+// req.Arrive is its enqueue time (set on intake, the same tick the fetch
+// started), so the latency sample matches the closure it replaced.
+func (c *Controller) noCacheDone(a any, _ sim.Tick) {
+	req := a.(*mem.Request)
+	c.sampleReadLatency(c.sim.Now() - req.Arrive)
+	req.Complete()
+	c.retryUpstream()
+}
+
 // missFetch starts the backing-store read for a demand miss and wires
 // the completion: respond to the demand, resolve conflict waiters, and
-// enqueue the fill (unless bypassed).
-func (c *Controller) missFetch(req *mem.Request, line uint64, fill bool) {
+// enqueue the fill (unless bypassed). The transaction rides along as the
+// completion's argument (t.req, t.line, t.fill), so the fetch allocates
+// no closure; intake paths with no queued transaction pass a bare
+// carrier txn.
+func (c *Controller) missFetch(t *txn) {
 	c.stats.MMReads++
 	c.stats.Traffic.MMDemandBytes += 64
 	c.mmMeter.Acts++
 	c.mmMeter.Cols++
 	c.mmMeter.Bytes += 64
-	done := func() {
-		if req != nil {
-			c.sampleReadLatency(c.sim.Now() - req.Arrive)
-			req.Complete()
-		}
-		// Data is at the controller: conflict-buffer waiters are served
-		// from it directly.
-		c.resolveInflight(line)
-		if fill {
-			c.dispatchFill(line)
-		}
-		c.retryUpstream()
-	}
-	if !c.mm.Read(line, done) {
+	if !c.mm.ReadArg(t.line, missDataEv, t) {
 		// Backing read queue full: park the fetch. The queue's free
 		// event (backing.Memory.OnReadFree) rearms the pump — one wakeup
 		// per freed slot instead of a 20 ns polling loop.
-		c.parkMMRead(pendingMM{line: line, done: done})
+		c.parkMMRead(pendingMM{line: t.line, fn: missDataEv, arg: t})
 	}
+}
+
+// missDataEv completes a demand miss's backing fetch.
+func missDataEv(a any, _ sim.Tick) {
+	t := a.(*txn)
+	c := t.cc.ctl
+	if t.req != nil {
+		c.sampleReadLatency(c.sim.Now() - t.req.Arrive)
+		t.req.Complete()
+	}
+	// Data is at the controller: conflict-buffer waiters are served
+	// from it directly.
+	c.resolveInflight(t.line)
+	if t.fill {
+		c.dispatchFill(t.line)
+	}
+	c.retryUpstream()
 }
 
 func (c *Controller) parkMMRead(p pendingMM) {
@@ -590,7 +615,7 @@ func (c *Controller) parkMMRead(p pendingMM) {
 func (c *Controller) pumpMMReads() {
 	for len(c.mmReadWait) > 0 {
 		p := c.mmReadWait[0]
-		if !c.mm.Read(p.line, p.done) {
+		if !c.mm.ReadArg(p.line, p.fn, p.arg) {
 			return
 		}
 		c.mmReadWait = c.mmReadWait[1:]

@@ -11,6 +11,7 @@ package dramcache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"tdram/internal/mem"
 )
@@ -35,6 +36,13 @@ type tagStore struct {
 	lines   []lineState
 	lruTick uint64
 
+	// Power-of-two set decode: replace the modulo/divide pair — which
+	// dominates the tag-check cost for the default direct-mapped store —
+	// with mask and shift. pow2 false falls back to the general arithmetic.
+	pow2  bool
+	mask  uint64
+	shift uint
+
 	// Graceful degradation under fault injection: errs counts
 	// retry-exhausted (uncorrectable) errors per set; sets in retired are
 	// out of service — every access misses clean without installing, so
@@ -53,11 +61,28 @@ func newTagStore(capacityBytes uint64, ways int) (*tagStore, error) {
 	if lines == 0 || lines%uint64(ways) != 0 {
 		return nil, fmt.Errorf("dramcache: capacity %d not divisible into %d ways", capacityBytes, ways)
 	}
-	return &tagStore{sets: lines / uint64(ways), ways: ways, lines: make([]lineState, lines)}, nil
+	t := &tagStore{sets: lines / uint64(ways), ways: ways, lines: make([]lineState, lines)}
+	if t.sets&(t.sets-1) == 0 {
+		t.pow2 = true
+		t.mask = t.sets - 1
+		t.shift = uint(bits.TrailingZeros64(t.sets))
+	}
+	return t, nil
 }
 
 func (t *tagStore) set(line uint64) (uint64, uint64) {
+	if t.pow2 {
+		return line & t.mask, line >> t.shift
+	}
 	return line % t.sets, line / t.sets
+}
+
+// setIndex is the set-only half of set, for the retirement bookkeeping.
+func (t *tagStore) setIndex(line uint64) uint64 {
+	if t.pow2 {
+		return line & t.mask
+	}
+	return line % t.sets
 }
 
 // lineOf reconstructs a line address from set and tag.
@@ -73,13 +98,13 @@ type probeResult struct {
 
 // isRetired reports whether line's set is out of service.
 func (t *tagStore) isRetired(line uint64) bool {
-	return t.retired != nil && t.retired[line%t.sets]
+	return t.retired != nil && t.retired[t.setIndex(line)]
 }
 
 // recordError charges one uncorrectable error against line's set and
 // returns the set's running count (0 once the set is already retired).
 func (t *tagStore) recordError(line uint64) int {
-	set := line % t.sets
+	set := t.setIndex(line)
 	if t.retired != nil && t.retired[set] {
 		return 0
 	}
@@ -94,7 +119,7 @@ func (t *tagStore) recordError(line uint64) int {
 // returns the line addresses of any dirty victims that must still be
 // written back. Idempotent.
 func (t *tagStore) retire(line uint64) (dirty []uint64) {
-	set := line % t.sets
+	set := t.setIndex(line)
 	if t.retired == nil {
 		t.retired = make(map[uint64]bool)
 	}

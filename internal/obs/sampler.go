@@ -15,6 +15,7 @@ import (
 // events fire relative to each other.
 type Sampler struct {
 	obs      *Observer
+	sim      *sim.Simulator
 	interval sim.Tick
 	max      int
 
@@ -38,7 +39,15 @@ func (sp *Sampler) add(name string, fn func() float64) {
 }
 
 func (sp *Sampler) start(s *sim.Simulator) {
-	s.ScheduleDaemon(sp.interval, func() { sp.tick(s) })
+	sp.sim = s
+	s.ScheduleDaemonArg(sp.interval, samplerTickEv, sp)
+}
+
+// samplerTickEv dispatches a sampling tick without allocating a closure
+// per reschedule.
+func samplerTickEv(a any, _ sim.Tick) {
+	sp := a.(*Sampler)
+	sp.tick(sp.sim)
 }
 
 func (sp *Sampler) tick(s *sim.Simulator) {
@@ -59,7 +68,7 @@ func (sp *Sampler) tick(s *sim.Simulator) {
 			sp.obs.CounterFloat(sp.tracks[i], now, v)
 		}
 	}
-	s.ScheduleDaemon(sp.interval, func() { sp.tick(s) })
+	s.ScheduleDaemonArg(sp.interval, samplerTickEv, sp)
 }
 
 // Samples reports the number of recorded sampling rows.

@@ -5,7 +5,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"strconv"
@@ -41,7 +40,25 @@ func (t Tick) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
 // of the Chrome/Perfetto trace-event format.
 func (t Tick) Microseconds() float64 { return float64(t) / float64(Microsecond) }
 
-func (t Tick) String() string { return fmt.Sprintf("%.3fns", t.Nanoseconds()) }
+// String renders t as a nanosecond count with three decimals ("2.500ns").
+// It sits on the obs/trace hot path, so it formats with integer
+// arithmetic and strconv.AppendInt rather than fmt.Sprintf("%.3f") —
+// no reflection, no float rounding, exact for the full Tick range.
+func (t Tick) String() string {
+	var buf [24]byte
+	b := buf[:0]
+	ps := int64(t)
+	neg := ps < 0
+	if neg {
+		b = append(b, '-')
+		ps = -ps
+	}
+	b = strconv.AppendInt(b, ps/1000, 10)
+	frac := ps % 1000
+	b = append(b, '.', byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	b = append(b, 'n', 's')
+	return string(b)
+}
 
 // ParseTick parses a duration string with a unit suffix — "500ps",
 // "2.5ns", "1us", "3ms" — into ticks. It exists so CLI flags can accept
@@ -77,41 +94,30 @@ func ParseTick(s string) (Tick, error) {
 	return 0, fmt.Errorf("sim: duration %q needs a ps/ns/us/ms suffix", s)
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback, stored inline in the wheel's bucket
+// slabs. Every event is a (fn, arg) pair: the typed-argument Schedule
+// variants store the caller's prebound function and argument directly
+// (zero allocations for pointer args), while the classic closure-based
+// variants store the closure as arg behind a static dispatcher.
+// Insertion order within a tick IS the deterministic tie-break order, so
+// no per-event sequence number is stored.
 type event struct {
 	when   Tick
-	seq    uint64 // insertion order; breaks ties deterministically
-	daemon bool   // does not keep the simulation alive on its own
-	fn     func()
+	fn     func(any, Tick)
+	arg    any
+	daemon bool // does not keep the simulation alive on its own
 }
 
-// eventHeap implements heap.Interface ordered by (when, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() (Tick, bool) { // earliest event time
-	if len(h) == 0 {
-		return 0, false
-	}
-	return h[0].when, true
-}
+// runClosure dispatches a classic func() callback stored in arg. Func
+// values are pointer-shaped, so boxing one into arg does not allocate.
+func runClosure(a any, _ Tick) { a.(func())() }
 
 // Simulator owns the clock and the event queue. The zero value is ready to
 // use. Simulator is not safe for concurrent use; all models run on the
 // simulation goroutine, in event order.
 type Simulator struct {
 	now       Tick
-	seq       uint64
-	events    eventHeap
+	w         wheel
 	fired     uint64
 	nonDaemon int // queued events that keep the simulation alive
 
@@ -130,7 +136,7 @@ func (s *Simulator) Now() Tick { return s.now }
 func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending reports the number of events still queued.
-func (s *Simulator) Pending() int { return len(s.events) }
+func (s *Simulator) Pending() int { return s.w.count }
 
 // Schedule runs fn after delay ticks. A zero delay runs fn after all
 // previously scheduled events at the current tick. Negative delays panic:
@@ -139,7 +145,8 @@ func (s *Simulator) Schedule(delay Tick, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: schedule %v in the past at %v", delay, s.now))
 	}
-	s.ScheduleAt(s.now+delay, fn)
+	s.nonDaemon++
+	s.place(event{when: s.now + delay, fn: runClosure, arg: fn})
 }
 
 // ScheduleAt runs fn at absolute time when (>= Now).
@@ -147,9 +154,8 @@ func (s *Simulator) ScheduleAt(when Tick, fn func()) {
 	if when < s.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", when, s.now))
 	}
-	s.seq++
 	s.nonDaemon++
-	heap.Push(&s.events, event{when: when, seq: s.seq, fn: fn})
+	s.place(event{when: when, fn: runClosure, arg: fn})
 }
 
 // ScheduleDaemon runs fn after delay like Schedule, but the event does
@@ -160,23 +166,67 @@ func (s *Simulator) ScheduleDaemon(delay Tick, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: schedule %v in the past at %v", delay, s.now))
 	}
-	s.seq++
-	heap.Push(&s.events, event{when: s.now + delay, seq: s.seq, daemon: true, fn: fn})
+	s.place(event{when: s.now + delay, fn: runClosure, arg: fn, daemon: true})
+}
+
+// ScheduleArg runs fn(arg, when) after delay ticks. Unlike Schedule with
+// a capturing closure, it allocates nothing when arg is pointer-shaped:
+// the controllers' per-request hot paths pass their transaction as arg
+// and a package-level function as fn.
+func (s *Simulator) ScheduleArg(delay Tick, fn func(any, Tick), arg any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: schedule %v in the past at %v", delay, s.now))
+	}
+	s.nonDaemon++
+	s.place(event{when: s.now + delay, fn: fn, arg: arg})
+}
+
+// ScheduleArgAt runs fn(arg, when) at absolute time when (>= Now), with
+// the same allocation discipline as ScheduleArg.
+func (s *Simulator) ScheduleArgAt(when Tick, fn func(any, Tick), arg any) {
+	if when < s.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", when, s.now))
+	}
+	s.nonDaemon++
+	s.place(event{when: when, fn: fn, arg: arg})
+}
+
+// ScheduleDaemonArg is ScheduleDaemon with the typed-argument callback
+// form — for perpetual activities (refresh, watchdog checks, samplers)
+// that would otherwise allocate a fresh method-value closure on every
+// self-reschedule.
+func (s *Simulator) ScheduleDaemonArg(delay Tick, fn func(any, Tick), arg any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: schedule %v in the past at %v", delay, s.now))
+	}
+	s.place(event{when: s.now + delay, fn: fn, arg: arg, daemon: true})
 }
 
 // Step executes the next event, advancing the clock to its timestamp. It
 // reports false when the queue is empty.
 func (s *Simulator) Step() bool {
-	if len(s.events) == 0 {
+	i, ok := s.nextL0()
+	if !ok {
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
+	b := s.w.l0[i]
+	e := b[s.w.head]
+	s.w.head++
+	if s.w.head == len(b) {
+		// Bucket drained: clear references for the GC, keep the slab's
+		// capacity for reuse, and drop its occupancy bit.
+		clear(b)
+		s.w.l0[i] = b[:0]
+		s.w.head = 0
+		s.w.l0bits[i>>6] &^= 1 << uint(i&63)
+	}
+	s.w.count--
 	if !e.daemon {
 		s.nonDaemon--
 	}
-	s.now = e.when
+	s.now = s.w.l0base + Tick(i)
 	s.fired++
-	e.fn()
+	e.fn(e.arg, e.when)
 	if s.watchdog != nil {
 		s.watchdog.onStep()
 	}
@@ -191,12 +241,15 @@ func (s *Simulator) Run(limit Tick) Tick {
 		if s.watchdog != nil && s.watchdog.tripped {
 			return s.now
 		}
-		when, ok := s.events.peek()
+		when, ok := s.peekNext()
 		if !ok || (limit == 0 && s.nonDaemon == 0) {
 			return s.now
 		}
 		if limit > 0 && when > limit {
-			s.now = limit
+			// Advance (never rewind) the clock to the limit.
+			if limit > s.now {
+				s.now = limit
+			}
 			return s.now
 		}
 		s.Step()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -22,8 +23,30 @@ func TestTickNS(t *testing.T) {
 }
 
 func TestTickString(t *testing.T) {
-	if s := NS(2.5).String(); s != "2.500ns" {
-		t.Errorf("String = %q", s)
+	cases := []struct {
+		t    Tick
+		want string
+	}{
+		{0, "0.000ns"},
+		{1, "0.001ns"},        // single picosecond
+		{999, "0.999ns"},      // just below the ns boundary
+		{1000, "1.000ns"},     // exactly 1 ns
+		{1001, "1.001ns"},     // just past it
+		{NS(2.5), "2.500ns"},  // fractional Table III parameter
+		{999999, "999.999ns"}, // just below 1 us
+		{Microsecond, "1000.000ns"},
+		{Millisecond + 1, "1000000.001ns"},
+		{-1, "-0.001ns"},
+		{-999, "-0.999ns"},
+		{-1000, "-1.000ns"},
+		{NS(2.5) * -1, "-2.500ns"},
+		{math.MaxInt64, "9223372036854775.807ns"},
+		{math.MinInt64 + 1, "-9223372036854775.807ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Tick(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
 	}
 }
 
@@ -291,6 +314,48 @@ func TestTimelineMerge(t *testing.T) {
 	}
 }
 
+// TestTimelineBridgeMerge fills the gap between two intervals in one
+// Reserve, which must merge backward and forward in the same call.
+func TestTimelineBridgeMerge(t *testing.T) {
+	tl := NewTimeline("dq")
+	tl.Reserve(0, 10)
+	tl.Reserve(20, 10)
+	tl.Reserve(10, 10) // bridges both neighbours
+	if tl.Intervals() != 1 {
+		t.Errorf("bridge reserve left %d intervals, want 1", tl.Intervals())
+	}
+	if tl.BusyUntil() != 30 {
+		t.Errorf("BusyUntil = %v, want 30", tl.BusyUntil())
+	}
+	if got := tl.FirstFree(0, 1); got != 30 {
+		t.Errorf("FirstFree(0,1) = %v, want 30", got)
+	}
+}
+
+// TestTimelineReleaseMidInterval prunes with a cutoff falling inside a
+// reservation: the straddling interval must survive intact.
+func TestTimelineReleaseMidInterval(t *testing.T) {
+	tl := NewTimeline("dq")
+	tl.Reserve(0, 10)
+	tl.Reserve(20, 10)
+	tl.Reserve(40, 10)
+	tl.Release(25) // inside [20,30)
+	if tl.Intervals() != 2 {
+		t.Errorf("Release(25) left %d intervals, want 2", tl.Intervals())
+	}
+	if tl.FreeAt(20, 10) || tl.FreeAt(40, 10) {
+		t.Error("Release dropped a live reservation")
+	}
+	if !tl.FreeAt(10, 10) {
+		t.Error("pruned region still reported busy")
+	}
+	// Release is monotonic: a stale smaller cutoff is a no-op.
+	tl.Release(5)
+	if tl.Intervals() != 2 {
+		t.Errorf("stale Release changed state: %d intervals", tl.Intervals())
+	}
+}
+
 // Property: a randomized sequence of first-fit reservations never
 // overlaps, and FirstFree always returns a slot at or after the earliest
 // requested time.
@@ -336,13 +401,34 @@ func BenchmarkEventQueue(b *testing.B) {
 	s.Run(0)
 }
 
+// BenchmarkTimelineReserve is the forward-moving command-stream pattern
+// that the tail fast paths in FirstFree and Reserve serve: queries land
+// at or after the last busy interval, so neither scans.
 func BenchmarkTimelineReserve(b *testing.B) {
 	tl := NewTimeline("bench")
 	var now Tick
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		at := tl.FirstFree(now, 4)
 		tl.Reserve(at, 4)
 		now = at
+		if i%64 == 0 {
+			tl.Release(now)
+		}
+	}
+}
+
+// BenchmarkTimelineOutOfOrder alternates between two offset streams so
+// half the reservations take the ordered-insert slow path — the bound on
+// what the write-offset case costs.
+func BenchmarkTimelineOutOfOrder(b *testing.B) {
+	tl := NewTimeline("bench")
+	var now Tick
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += 2 {
+		tl.Reserve(now+20, 4) // far slot first
+		tl.Reserve(now+8, 4)  // then the earlier one: ordered insert
+		now += 32
 		if i%64 == 0 {
 			tl.Release(now)
 		}

@@ -30,6 +30,11 @@ func (t *Timeline) FirstFree(earliest Tick, dur Tick) Tick {
 	if dur <= 0 {
 		return earliest
 	}
+	// Tail fast path: command streams mostly move forward, so most
+	// queries land at or after the last busy interval — no scan needed.
+	if n := len(t.busy); n == 0 || earliest >= t.busy[n-1].end {
+		return earliest
+	}
 	start := earliest
 	for _, iv := range t.busy {
 		if iv.end <= start {
@@ -59,6 +64,16 @@ func (t *Timeline) Reserve(start, dur Tick) {
 		panic(fmt.Sprintf("sim: timeline %q: overlapping reservation at %v+%v", t.name, start, dur))
 	}
 	end := start + dur
+	// Tail fast path: an append-at-end reservation (the common case once
+	// FirstFree picked the slot) skips the ordered-insert scan entirely.
+	if n := len(t.busy); n == 0 || start >= t.busy[n-1].end {
+		if n > 0 && t.busy[n-1].end == start {
+			t.busy[n-1].end = end
+			return
+		}
+		t.busy = append(t.busy, interval{start, end})
+		return
+	}
 	// Insert keeping order; merge with abutting neighbours to bound growth.
 	i := 0
 	for i < len(t.busy) && t.busy[i].start < start {
@@ -93,7 +108,11 @@ func (t *Timeline) Release(now Tick) {
 		i++
 	}
 	if i > 0 {
-		t.busy = t.busy[i:]
+		// Compact in place rather than re-slicing forward: keeping the
+		// slice anchored at the array's start preserves append capacity,
+		// so a long-running timeline stops allocating once warm.
+		n := copy(t.busy, t.busy[i:])
+		t.busy = t.busy[:n]
 	}
 }
 

@@ -67,10 +67,14 @@ func NewWatchdog(s *Simulator, window Tick) *Watchdog {
 	w := &Watchdog{s: s, window: window, budget: defaultEventBudget}
 	s.watchdog = w
 	if window > 0 {
-		s.ScheduleDaemon(window, w.check)
+		s.ScheduleDaemonArg(window, watchdogCheck, w)
 	}
 	return w
 }
+
+// watchdogCheck dispatches the periodic check without allocating a
+// method-value closure per reschedule.
+func watchdogCheck(a any, _ Tick) { a.(*Watchdog).check() }
 
 // SetEventBudget overrides the events-without-progress bound (tests).
 func (w *Watchdog) SetEventBudget(n uint64) { w.budget = n }
@@ -131,7 +135,7 @@ func (w *Watchdog) check() {
 		return
 	}
 	w.progAtCheck = w.progress
-	w.s.ScheduleDaemon(w.window, w.check)
+	w.s.ScheduleDaemonArg(w.window, watchdogCheck, w)
 }
 
 // onStep is the event-budget check, run by the kernel after each event.
@@ -161,8 +165,8 @@ func (w *Watchdog) Report() string {
 	}
 	fmt.Fprintf(&b, "watchdog: %s\n", reason)
 	fmt.Fprintf(&b, "  kernel: now=%v fired=%d pending=%d retired=%d",
-		w.s.now, w.s.fired, len(w.s.events), w.progress)
-	if when, ok := w.s.events.peek(); ok {
+		w.s.now, w.s.fired, w.s.Pending(), w.progress)
+	if when, ok := w.s.peekNext(); ok {
 		fmt.Fprintf(&b, " next-event=%v", when)
 	}
 	b.WriteString("\n")

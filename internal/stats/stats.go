@@ -88,6 +88,14 @@ func (h *Hist) Add(v float64) {
 	h.counts[i]++
 }
 
+// String renders the histogram's full content (width, per-bucket
+// counts, overflow, moments). Besides debugging, this is what makes a
+// reflected dump of a stats tree (fmt %+v) deterministic: without it,
+// nested *Hist fields print as heap addresses, which vary run to run.
+func (h *Hist) String() string {
+	return fmt.Sprintf("hist{w=%g counts=%v overflow=%d mean=%+v}", h.width, h.counts, h.overflow, h.mean)
+}
+
 // N reports the sample count.
 func (h *Hist) N() uint64 { return h.mean.N() }
 

@@ -198,6 +198,7 @@ func New(cfg Config) (*System, error) {
 			think:  sim.NS(cfg.Workload.ThinkNS),
 		}
 		c.hier.WriteBack = c.emitWriteback
+		c.onMiss = c.missDone
 		sys.cores = append(sys.cores, c)
 	}
 	return sys, nil
@@ -244,14 +245,17 @@ func (sys *System) wakeStalled() {
 	for _, c := range sys.cores {
 		if c.waitRetry && !c.wakeQueued {
 			c.wakeQueued = true
-			cc := c
-			sys.sim.Schedule(0, func() {
-				cc.wakeQueued = false
-				cc.waitRetry = false
-				cc.tick()
-			})
+			sys.sim.ScheduleArg(0, coreWakeEv, c)
 		}
 	}
+}
+
+// coreWakeEv resumes a core stalled on controller backpressure.
+func coreWakeEv(a any, _ sim.Tick) {
+	c := a.(*core)
+	c.wakeQueued = false
+	c.waitRetry = false
+	c.tick()
 }
 
 // outstandingWork counts cores that still owe work in the current phase

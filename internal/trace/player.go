@@ -88,10 +88,21 @@ func (p *Player) scheduleNext() {
 	if delay < 0 {
 		delay = 0 // slipped past the recorded time under backpressure
 	}
-	p.sim.Schedule(delay, func() {
-		p.injectQueued = false
-		p.inject()
-	})
+	p.sim.ScheduleArg(delay, playerInjectEv, p)
+}
+
+// playerInjectEv fires a scheduled injection point.
+func playerInjectEv(a any, _ sim.Tick) {
+	p := a.(*Player)
+	p.injectQueued = false
+	p.inject()
+}
+
+// playerRetryEv re-runs injection after a backpressure backoff.
+func playerRetryEv(a any, _ sim.Tick) {
+	p := a.(*Player)
+	p.retryScheduled = false
+	p.inject()
 }
 
 // inject issues every event that is due, then re-arms.
@@ -116,10 +127,7 @@ func (p *Player) inject() {
 			// a timed fallback so replay cannot wedge).
 			if !p.retryScheduled {
 				p.retryScheduled = true
-				p.sim.Schedule(sim.NS(50), func() {
-					p.retryScheduled = false
-					p.inject()
-				})
+				p.sim.ScheduleArg(sim.NS(50), playerRetryEv, p)
 			}
 			return
 		}

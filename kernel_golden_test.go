@@ -1,0 +1,104 @@
+// Golden-stats pin for the simulation kernel: every design's full
+// Result (outcome counts, latency means and histograms, traffic and
+// energy breakdowns) must be bit-identical run over run AND match the
+// committed fingerprints in testdata/kernel_golden.json.
+//
+// The fingerprints were generated with the original container/heap event
+// queue; the timing-wheel kernel that replaced it must preserve the
+// exact (when, seq) firing order, so any divergence here means the
+// kernel reordered events. Intentional *model* changes that move timing
+// are expected to shift these values — regenerate with:
+//
+//	go test -run TestKernelStatsGolden -update-golden .
+package tdram_test
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"tdram"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/kernel_golden.json")
+
+const goldenPath = "testdata/kernel_golden.json"
+
+// goldenDesigns are all five cached designs plus the NoCache baseline,
+// so both controller paths (cache protocol and straight-to-backing) are
+// pinned.
+var goldenDesigns = []tdram.Design{
+	tdram.CascadeLake, tdram.Alloy, tdram.BEAR, tdram.NDC, tdram.TDRAM, tdram.NoCache,
+}
+
+// goldenCell runs one micro-scale simulation and fingerprints the full
+// Result via its reflected rendering (covers every exported and
+// unexported stat field, histograms included).
+func goldenCell(t testing.TB, d tdram.Design) string {
+	t.Helper()
+	cfg := tdram.NewSystemConfig(d, tdram.MustWorkload("ft.C"), 8<<20)
+	cfg.RequestsPerCore = 1500
+	cfg.WarmupPerCore = 300
+	res, err := tdram.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(fmt.Sprintf("%+v", res))))
+}
+
+// TestKernelStatsDeterminism runs every design twice on fresh kernels
+// and requires bit-identical stats: the event queue must impose a total
+// deterministic order, never a heap-shape- or map-order-dependent one.
+func TestKernelStatsDeterminism(t *testing.T) {
+	designs := goldenDesigns
+	if testing.Short() {
+		designs = []tdram.Design{tdram.TDRAM, tdram.CascadeLake}
+	}
+	for _, d := range designs {
+		if a, b := goldenCell(t, d), goldenCell(t, d); a != b {
+			t.Errorf("%v: stats differ between identical runs: %s vs %s", d, a, b)
+		}
+	}
+}
+
+// TestKernelStatsGolden compares each design's fingerprint against the
+// committed golden file.
+func TestKernelStatsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden cells cover all designs; skipped under -short")
+	}
+	got := make(map[string]string, len(goldenDesigns))
+	for _, d := range goldenDesigns {
+		got[d.String()] = goldenCell(t, d)
+	}
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	for d, h := range got {
+		if want[d] != h {
+			t.Errorf("%s: stats fingerprint %s does not match golden %s — the kernel reordered events (or a model change moved timing; regenerate with -update-golden if intentional)", d, h, want[d])
+		}
+	}
+}
