@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"tdram"
+	"tdram/internal/experiments"
+	"tdram/internal/sim"
+	"tdram/internal/system"
+)
+
+// TestMatrixJSONByteIdentical pins the -json summary's determinism: the
+// same matrix must serialize to the same bytes on every call. The
+// aggregates are accumulated by ranging over maps keyed on (design,
+// workload); matrixSummary must visit them in the fixed sweep order or
+// the float totals (and so the emitted low bits) shift run to run.
+func TestMatrixJSONByteIdentical(t *testing.T) {
+	build := func() *tdram.Matrix {
+		sc := tdram.QuickScale()
+		m := &experiments.Matrix{
+			Scale:   sc,
+			Results: make(map[experiments.Key]*system.Result),
+		}
+		for i, wl := range sc.Workloads {
+			for j, d := range append(tdram.Designs(), tdram.NoCache) {
+				m.Results[experiments.Key{Design: d, Workload: wl.Name}] = &system.Result{
+					Design:   d,
+					Workload: wl.Name,
+					// Spread the runtimes so a reordered float sum
+					// actually perturbs the total's low bits.
+					Runtime:  sim.Tick(1) << (uint(i+j) % 50),
+					Accesses: 1000,
+				}
+			}
+		}
+		return m
+	}
+	enc := func(m *tdram.Matrix) string {
+		b, err := json.MarshalIndent(matrixSummary(m, 3*time.Second), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	first := enc(build())
+	for i := 0; i < 8; i++ {
+		if again := enc(build()); again != first {
+			t.Fatalf("matrix JSON summary differs between identical matrices:\n--- first\n%s\n--- again\n%s", first, again)
+		}
+	}
+}

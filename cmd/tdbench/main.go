@@ -33,6 +33,18 @@ import (
 	"tdram/internal/stats"
 )
 
+// wallNow and wallSince isolate tdbench's legitimate wall-clock reads —
+// harness throughput measurement and report timestamps, never simulated
+// time — behind one annotated seam so the determinism analyzer covers
+// the rest of the command.
+func wallNow() time.Time {
+	return time.Now() //tdlint:allow determinism — harness wall-clock timing, not simulated time
+}
+
+func wallSince(t time.Time) time.Duration {
+	return time.Since(t) //tdlint:allow determinism — harness wall-clock timing, not simulated time
+}
+
 // matrixExps are the experiments derived from the shared run matrix.
 var matrixExps = map[string]func(*tdram.Matrix) *tdram.Report{
 	"fig1":  tdram.Fig1,
@@ -169,14 +181,14 @@ func run() error {
 	}
 
 	summary := &benchSummary{
-		Timestamp: time.Now().Format(time.RFC3339),
+		Timestamp: wallNow().Format(time.RFC3339),
 		Scale:     scale.Name,
 	}
 
 	var m *tdram.Matrix
 	var sweepErr error
 	if needMatrix {
-		start := time.Now()
+		start := wallNow()
 		njobs := *jobs
 		if njobs <= 0 {
 			njobs = runtime.GOMAXPROCS(0)
@@ -198,7 +210,7 @@ func run() error {
 			}
 			sweepErr = fmt.Errorf("%d matrix cell(s) failed", len(failed))
 		}
-		wall := time.Since(start)
+		wall := wallSince(start)
 		fmt.Fprintf(os.Stderr, "tdbench: matrix done in %v\n", wall.Round(time.Second))
 		summary.Matrix = matrixSummary(m, wall)
 	}
@@ -223,28 +235,28 @@ func run() error {
 
 	for _, id := range ids {
 		if f, ok := matrixExps[id]; ok {
-			start := time.Now()
+			start := wallNow()
 			rep := f(m)
-			if err := emit(rep, time.Since(start)); err != nil {
+			if err := emit(rep, wallSince(start)); err != nil {
 				return err
 			}
 			continue
 		}
-		start := time.Now()
+		start := wallNow()
 		rep, err := standaloneExps[id](scale)
 		if err != nil {
 			return err
 		}
-		if err := emit(rep, time.Since(start)); err != nil {
+		if err := emit(rep, wallSince(start)); err != nil {
 			return err
 		}
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "tdbench: %s done in %v\n", id, time.Since(start).Round(time.Second))
+			fmt.Fprintf(os.Stderr, "tdbench: %s done in %v\n", id, wallSince(start).Round(time.Second))
 		}
 	}
 
 	if *jsonOut {
-		path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102T150405"))
+		path := fmt.Sprintf("BENCH_%s.json", wallNow().Format("20060102T150405"))
 		if err := writeSummary(path, summary); err != nil {
 			return err
 		}
@@ -313,9 +325,16 @@ func matrixSummary(m *tdram.Matrix, wall time.Duration) *matrixJSON {
 	for _, k := range m.MissingCells() {
 		mj.FailedCells = append(mj.FailedCells, fmt.Sprintf("%s/%v", k.Workload, k.Design))
 	}
-	for _, res := range m.Results {
-		mj.Runs++
-		mj.SimulatedNS += float64(res.Runtime) / 1e3 // ticks are ps
+	// Sum in fixed (workload, design) order: ranging over the Results map
+	// would accumulate the float total in a randomized order and perturb
+	// simulated_ns's low bits from run to run.
+	for _, wl := range m.Scale.Workloads {
+		for _, d := range append(tdram.Designs(), tdram.NoCache) {
+			if res := m.Get(d, wl.Name); res != nil {
+				mj.Runs++
+				mj.SimulatedNS += float64(res.Runtime) / 1e3 // ticks are ps
+			}
+		}
 	}
 	if s := wall.Seconds(); s > 0 {
 		mj.NSPerSecond = mj.SimulatedNS / s

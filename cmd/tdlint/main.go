@@ -1,0 +1,126 @@
+// Command tdlint is the repository's static-analysis multichecker. It
+// enforces, mechanically, the invariants the simulator's results rest
+// on: allocation-free event scheduling in hot packages (schedcapture),
+// bit-identical output across runs (determinism), the nil-checked
+// observe-hook pattern (hookguard), and timing values flowing from
+// named parameters (tickconv).
+//
+// Usage:
+//
+//	go run ./cmd/tdlint ./...
+//	go run ./cmd/tdlint -list
+//	go run ./cmd/tdlint -only determinism,hookguard ./internal/...
+//
+// Findings print as file:line:col: message (analyzer), one per line,
+// followed by indented remediation hints. The exit status is 0 when the
+// tree is clean, 1 when there are findings, 2 on load errors. A finding
+// is suppressed by an in-source directive on the flagged line or the
+// line above it:
+//
+//	//tdlint:allow <analyzer>[,<analyzer>...] — <reason>
+//
+// The reason is mandatory; malformed directives are themselves
+// findings. Test files are never analyzed — the enforced invariants
+// bind the simulator, not its tests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tdram/internal/analysis"
+	"tdram/internal/analysis/determinism"
+	"tdram/internal/analysis/hookguard"
+	"tdram/internal/analysis/schedcapture"
+	"tdram/internal/analysis/tickconv"
+)
+
+// analyzers returns the full tdlint suite. main_test.go pins this
+// registry: exactly these four, in this order.
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		schedcapture.Analyzer,
+		determinism.Analyzer,
+		hookguard.Analyzer,
+		tickconv.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("tdlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	dir := fs.String("C", ".", "change to `dir` before resolving package patterns")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tdlint [-only names] [-C dir] [packages]\n\n")
+		fmt.Fprintf(stderr, "Runs the tdram static-analysis suite over the packages (default ./...).\n\nAnalyzers:\n")
+		for _, a := range analyzers() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := analyzers()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "tdlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "tdlint: %v\n", err)
+		return 2
+	}
+	nfindings := 0
+	for _, pkg := range pkgs {
+		findings, err := pkg.Run(suite...)
+		if err != nil {
+			fmt.Fprintf(stderr, "tdlint: %v\n", err)
+			return 2
+		}
+		findings = append(findings, pkg.Allow.Malformed...)
+		for _, f := range findings {
+			nfindings++
+			fmt.Fprintln(stdout, f)
+			for _, fix := range f.Fixes {
+				fmt.Fprintf(stdout, "\t%s\n", fix)
+			}
+		}
+	}
+	if nfindings > 0 {
+		fmt.Fprintf(stderr, "tdlint: %d finding(s)\n", nfindings)
+		return 1
+	}
+	return 0
+}

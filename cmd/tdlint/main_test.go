@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRegistry pins the multichecker's registry: exactly the four
+// domain analyzers, in a stable order, each documented and runnable.
+func TestRegistry(t *testing.T) {
+	want := []string{"schedcapture", "determinism", "hookguard", "tickconv"}
+	got := analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("analyzers() registered %d analyzers, want exactly %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no documentation", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run function", a.Name)
+		}
+	}
+}
+
+// TestTreeIsClean is the acceptance gate: the committed tree must pass
+// the full suite. Equivalent to `go run ./cmd/tdlint ./...` from the
+// module root.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree type-check; skipped in -short runs")
+	}
+	if code := run([]string{"-C", "../..", "./..."}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("tdlint ./... exited %d on the committed tree; run `go run ./cmd/tdlint ./...` for the findings", code)
+	}
+}
+
+// TestUnknownAnalyzerRejected covers the -only selection path.
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	if code := run([]string{"-only", "nosuch"}, os.Stdout, os.Stderr); code != 2 {
+		t.Fatalf("run(-only nosuch) = %d, want 2", code)
+	}
+}

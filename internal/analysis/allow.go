@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The in-source escape hatch. A comment of the form
+//
+//	//tdlint:allow schedcapture — cold setup path, runs once per config
+//	//tdlint:allow determinism,hookguard — reason covering both
+//
+// suppresses findings from the named analyzers on the comment's own line
+// and on the line directly below it (so it works both as a trailing
+// comment and as a directive above the flagged statement). The reason
+// text after the dash is mandatory: an allow without a justification is
+// itself reported by the driver as a malformed directive.
+
+const allowPrefix = "tdlint:allow"
+
+// AllowIndex records, per file and line, which analyzers are exempted.
+type AllowIndex struct {
+	// byLine maps filename → line → analyzer names allowed there.
+	byLine map[string]map[int][]string
+	// Malformed lists tdlint:allow directives missing a name or reason;
+	// the driver reports these as findings so broken exemptions cannot
+	// silently suppress nothing (or everything).
+	Malformed []Finding
+}
+
+// allows reports whether analyzer name is exempted at pos.
+func (ai *AllowIndex) allows(name string, pos token.Position) bool {
+	if ai == nil || ai.byLine == nil {
+		return false
+	}
+	lines := ai.byLine[pos.Filename]
+	for _, l := range [2]int{pos.Line, pos.Line - 1} {
+		for _, n := range lines[l] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BuildAllowIndex scans the comments of files for tdlint:allow
+// directives. Directive comments must be line comments ("//..."); the
+// gofmt convention for directives (no space after "//") is accepted as
+// well as the spaced form.
+func BuildAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
+	ai := &AllowIndex{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names, reason := parseAllow(text)
+				if len(names) == 0 || reason == "" {
+					ai.Malformed = append(ai.Malformed, Finding{
+						Analyzer: "tdlint",
+						Pos:      pos,
+						Message:  "malformed tdlint:allow directive: want //tdlint:allow <analyzer>[,<analyzer>...] — <reason>",
+					})
+					continue
+				}
+				m := ai.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					ai.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], names...)
+			}
+		}
+	}
+	return ai
+}
+
+// parseAllow splits "tdlint:allow a,b — reason" into names and reason.
+// The separator may be an em dash, en dash, "--", or a single "-"
+// surrounded by spaces.
+func parseAllow(text string) (names []string, reason string) {
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	namePart := rest
+	for _, sep := range []string{"—", "–", " -- ", " - "} {
+		if i := strings.Index(rest, sep); i >= 0 {
+			namePart, reason = rest[:i], strings.TrimSpace(rest[i+len(sep):])
+			break
+		}
+	}
+	for _, n := range strings.FieldsFunc(namePart, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		names = append(names, n)
+	}
+	return names, strings.TrimSpace(reason)
+}

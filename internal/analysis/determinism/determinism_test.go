@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"tdram/internal/analysis/analysistest"
+	"tdram/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "determ")
+}

@@ -1,0 +1,103 @@
+// Package determ exercises every determinism rule: wall-clock reads,
+// global math/rand draws, and order-sensitive map-iteration sinks.
+package determ
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func globalRand() int {
+	r := rand.New(rand.NewSource(42)) // locally seeded generator: the fix, not the problem
+	_ = r.Intn(6)
+	return rand.Intn(6) // want `math/rand global Intn draws from the shared process-wide source`
+}
+
+// sortedKeys is the blessed idiom: the append target is sorted after
+// the loop, so iteration order never escapes.
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want `appending to ks while ranging over a map without sorting afterwards`
+	}
+	return ks
+}
+
+func dumpCSV(w *csv.Writer, m map[string]string) {
+	for k, v := range m {
+		w.Write([]string{k, v}) // want `map iteration feeds a csv\.Writer`
+	}
+}
+
+func dumpJSON(enc *json.Encoder, m map[string]int) {
+	for k := range m {
+		enc.Encode(k) // want `map iteration feeds a json\.Encoder`
+	}
+}
+
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `map iteration feeds a strings\.Builder`
+	}
+	return b.String()
+}
+
+func printAll(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration feeds fmt\.Fprintf`
+	}
+}
+
+func meanLatency(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation in map-iteration order`
+	}
+	return sum / float64(len(m))
+}
+
+// Integer accumulation is exact and order-free: not flagged.
+func histTotal(m map[string]uint64) uint64 {
+	var n uint64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Indexed stores land each element in a key-determined slot: the
+// result is independent of iteration order. Not flagged.
+func indexedFill(m map[string]int, procs []string) {
+	for name, pid := range m {
+		procs[pid] = name
+	}
+}
+
+func allowedAppend(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) //tdlint:allow determinism — consumer treats the result as an unordered set
+	}
+	return ks
+}

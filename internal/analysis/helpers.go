@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PathBase returns the last element of an import path — the conventional
+// way tdlint's analyzers recognize the simulator's packages, so the same
+// rules bind both the real tree ("tdram/internal/sim") and the
+// analysistest fixtures ("sim").
+func PathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The tdlint driver never loads test files, but analyzers check anyway
+// so they behave identically under analysistest fixtures that include
+// them.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// FuncOf returns the *types.Func a call's function expression resolves
+// to (following method selections), or nil.
+func FuncOf(info *types.Info, fun ast.Expr) *types.Func {
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// WithStack walks root in depth-first order, invoking fn with each node
+// and the stack of its ancestors (outermost first, excluding the node
+// itself). Returning false skips the node's children.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// Terminates reports whether a block always transfers control out of the
+// surrounding statement sequence: its last statement is a return, a
+// branch (break/continue/goto), or a panic call.
+func Terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

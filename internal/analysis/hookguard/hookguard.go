@@ -1,0 +1,346 @@
+// Package hookguard enforces the simulator's observe-hook pattern:
+// every call through an observability or fault-injection hook field
+// must be dominated by a nil check.
+//
+// Instrumented components hold hook fields — `obs *obs.Observer`,
+// `fault *fault.Injector`, or a func-typed `OnX` callback field — that
+// are nil when the subsystem is disabled, so the disabled hot path
+// costs exactly one predictable branch. The analyzer flags calls
+// through such fields (or through locals assigned from them) unless the
+// call is guarded by one of the established shapes:
+//
+//	if c.obs != nil { c.obs.Inc(...) }                   // direct guard
+//	o := cc.ctl.obs; if o == nil { return }; o.Inc(...)  // alias + early return
+//	if in := c.fault; in != nil && in.DataBeat() ... {}  // guard conjunct
+//	cb := m.OnReadFree; if cb != nil { cb() }            // func-field hook
+//	if o.TraceEnabled() { ... }                          // nil-safe predicate
+//
+// The obs and fault packages themselves are exempt: their internals are
+// the subsystem, not hook call sites.
+package hookguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tdram/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hookguard",
+	Doc: "flag calls through obs/fault hook fields not dominated by a nil check\n\n" +
+		"Calls through *obs.Observer / *fault.Injector struct fields, func-typed\n" +
+		"OnX callback fields, or locals assigned from them must be guarded by a\n" +
+		"nil check (direct, alias early-return, or condition conjunct).",
+	Run: run,
+}
+
+// guardMethods are nil-safe boolean predicates whose truth implies the
+// receiver is non-nil; a call guarded by one counts as checked.
+var guardMethods = map[string]bool{
+	"TraceEnabled":   true,
+	"MetricsEnabled": true,
+	"Enabled":        true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	switch analysis.PathBase(pass.Pkg.Path()) {
+	case "obs", "fault":
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	aliases := collectAliases(pass, fd.Body)
+	analysis.WithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		target, kind := hookCallTarget(pass, aliases, call)
+		if target == "" || guarded(target, stack, call) {
+			return true
+		}
+		if kind == funcHook {
+			pass.Report(analysis.Diagnostic{
+				Pos:     call.Pos(),
+				Message: "hook callback " + target + " invoked without a dominating nil check",
+				SuggestedFixes: []analysis.SuggestedFix{{
+					Message: "guard the call: if " + target + " != nil { " + target + "(...) }",
+				}},
+			})
+		} else {
+			pass.Report(analysis.Diagnostic{
+				Pos:     call.Pos(),
+				Message: "call through hook field " + target + " is not dominated by a nil check (observe-hook pattern)",
+				SuggestedFixes: []analysis.SuggestedFix{{
+					Message: "guard with if " + target + " != nil, or load into a local and early-return when nil",
+				}},
+			})
+		}
+		return true
+	})
+}
+
+// hookKind classifies a hook expression.
+type hookKind int
+
+const (
+	notHook  hookKind = iota
+	ptrHook           // field of type *obs.Observer / *fault.Injector
+	funcHook          // func-typed OnX callback field
+)
+
+// hookCallTarget returns the expression string that must be nil-checked
+// for this call to conform, or "" if the call is not through a hook.
+func hookCallTarget(pass *analysis.Pass, aliases map[*types.Var]hookKind, call *ast.CallExpr) (string, hookKind) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		// The callback field itself being called: m.OnReadFree().
+		if kind := hookFieldKind(pass, fun); kind == funcHook {
+			return types.ExprString(fun), funcHook
+		}
+		// A method call whose receiver is a hook pointer field or alias.
+		// The nil-safe predicates are the entrance to the pattern (`if
+		// o.TraceEnabled() { ... }`), not a violation.
+		if guardMethods[fun.Sel.Name] {
+			return "", notHook
+		}
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			switch recv := ast.Unparen(fun.X).(type) {
+			case *ast.SelectorExpr:
+				if hookFieldKind(pass, recv) == ptrHook {
+					return types.ExprString(recv), ptrHook
+				}
+			case *ast.Ident:
+				if v, ok := objOf(pass.TypesInfo, recv).(*types.Var); ok && aliases[v] == ptrHook {
+					return recv.Name, ptrHook
+				}
+			}
+		}
+	case *ast.Ident:
+		// An aliased callback being called: cb().
+		if v, ok := objOf(pass.TypesInfo, fun).(*types.Var); ok && aliases[v] == funcHook {
+			return fun.Name, funcHook
+		}
+	}
+	return "", notHook
+}
+
+// hookFieldKind reports whether sel selects a hook field: a struct
+// field of type pointer-to-named-type from an obs or fault package, or
+// a func-typed field whose name starts with "On".
+func hookFieldKind(pass *analysis.Pass, sel *ast.SelectorExpr) hookKind {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return notHook
+	}
+	return hookTypeKind(s.Obj().Name(), s.Type())
+}
+
+func hookTypeKind(name string, t types.Type) hookKind {
+	switch tt := types.Unalias(t).(type) {
+	case *types.Pointer:
+		if named, ok := types.Unalias(tt.Elem()).(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil {
+				switch analysis.PathBase(pkg.Path()) {
+				case "obs", "fault":
+					return ptrHook
+				}
+			}
+		}
+	case *types.Signature:
+		if strings.HasPrefix(name, "On") {
+			return funcHook
+		}
+	}
+	return notHook
+}
+
+// collectAliases finds local variables every one of whose assignments
+// loads a hook field; guarding such an alias is equivalent to guarding
+// the field.
+func collectAliases(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]hookKind {
+	assigns := make(map[*types.Var][]hookKind)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		v, ok := objOf(pass.TypesInfo, id).(*types.Var)
+		if !ok || v.IsField() || v.Parent() == pass.Pkg.Scope() {
+			return
+		}
+		kind := notHook
+		if sel, ok := ast.Unparen(rhs).(*ast.SelectorExpr); ok {
+			kind = hookFieldKind(pass, sel)
+		}
+		assigns[v] = append(assigns[v], kind)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	aliases := make(map[*types.Var]hookKind)
+	for v, kinds := range assigns {
+		kind := kinds[0]
+		for _, k := range kinds[1:] {
+			if k != kind {
+				kind = notHook
+			}
+		}
+		if kind != notHook {
+			aliases[v] = kind
+		}
+	}
+	return aliases
+}
+
+// guarded reports whether the call is dominated by a nil check on the
+// expression rendered as target: an enclosing if/&& whose condition
+// guarantees non-nil, an else branch of a nil test, or an earlier
+// early-return nil guard in an enclosing block.
+func guarded(target string, stack []ast.Node, call ast.Node) bool {
+	child := ast.Node(call)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.BinaryExpr:
+			if p.Op == token.LAND && p.Y == child && guarantees(p.X, target) {
+				return true
+			}
+			if p.Op == token.LOR && p.Y == child && nilImplies(p.X, target) {
+				return true
+			}
+		case *ast.IfStmt:
+			if p.Body == child && guarantees(p.Cond, target) {
+				return true
+			}
+			if p.Else == child && nilImplies(p.Cond, target) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if earlyReturnGuard(p.List, child, target) {
+				return true
+			}
+		case *ast.CaseClause:
+			if earlyReturnGuard(p.Body, child, target) {
+				return true
+			}
+		case *ast.CommClause:
+			if earlyReturnGuard(p.Body, child, target) {
+				return true
+			}
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// earlyReturnGuard scans the statements before the one containing the
+// call for `if <nil-implying cond> { return/panic/continue/... }`.
+func earlyReturnGuard(stmts []ast.Stmt, child ast.Node, target string) bool {
+	for _, st := range stmts {
+		if st == child {
+			return false
+		}
+		if ifst, ok := st.(*ast.IfStmt); ok && ifst.Init == nil &&
+			nilImplies(ifst.Cond, target) && analysis.Terminates(ifst.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// guarantees reports whether cond being true guarantees target != nil.
+func guarantees(cond ast.Expr, target string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND {
+			return guarantees(c.X, target) || guarantees(c.Y, target)
+		}
+		if c.Op == token.NEQ {
+			return nilCompare(c, target)
+		}
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+			return guardMethods[sel.Sel.Name] && types.ExprString(ast.Unparen(sel.X)) == target
+		}
+	}
+	return false
+}
+
+// nilImplies reports whether target == nil guarantees cond is true —
+// equivalently, cond being false guarantees target != nil.
+func nilImplies(cond ast.Expr, target string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if c.Op == token.LOR {
+			return nilImplies(c.X, target) || nilImplies(c.Y, target)
+		}
+		if c.Op == token.EQL {
+			return nilCompare(c, target)
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			if call, ok := ast.Unparen(c.X).(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					return guardMethods[sel.Sel.Name] && types.ExprString(ast.Unparen(sel.X)) == target
+				}
+			}
+		}
+	}
+	return false
+}
+
+// nilCompare reports whether b compares target against nil.
+func nilCompare(b *ast.BinaryExpr, target string) bool {
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNil(y) {
+		return types.ExprString(x) == target
+	}
+	if isNil(x) {
+		return types.ExprString(y) == target
+	}
+	return false
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// objOf resolves an identifier through both Uses and Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,12 @@
+package hookguard_test
+
+import (
+	"testing"
+
+	"tdram/internal/analysis/analysistest"
+	"tdram/internal/analysis/hookguard"
+)
+
+func TestHookGuard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hookguard.Analyzer, "hooked")
+}

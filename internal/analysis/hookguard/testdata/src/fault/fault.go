@@ -1,0 +1,26 @@
+// Package fault is a fixture mirror of the fault-injection subsystem's
+// nil-safe injector.
+package fault
+
+type Outcome int
+
+const (
+	None Outcome = iota
+	Detected
+)
+
+type Injector struct{ n int }
+
+func (in *Injector) DataBeat() Outcome {
+	if in == nil {
+		return None
+	}
+	return Detected
+}
+
+func (in *Injector) RetryBudget() int {
+	if in == nil {
+		return 0
+	}
+	return 3
+}

@@ -1,0 +1,148 @@
+// Package hooked exercises every guard shape hookguard accepts and the
+// violations it must flag.
+package hooked
+
+import (
+	"fault"
+	"obs"
+)
+
+type mem struct {
+	OnReadFree  func()
+	OnWriteFree func()
+}
+
+type ctl struct {
+	obs   *obs.Observer
+	fault *fault.Injector
+	mem   *mem
+}
+
+// --- accepted guard shapes ---
+
+func (c *ctl) directGuard() {
+	if c.obs != nil {
+		c.obs.Inc("ok")
+	}
+}
+
+func (c *ctl) aliasEarlyReturn() {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.Inc("ok")
+	o.Instant("ok")
+}
+
+func (c *ctl) aliasEarlyReturnDisjunct(busy bool) {
+	o := c.obs
+	if o == nil || busy {
+		return
+	}
+	o.Inc("ok")
+}
+
+func (c *ctl) conjunctGuard() bool {
+	return c.fault != nil && c.fault.DataBeat() == fault.Detected
+}
+
+func (c *ctl) ifInitAliasGuard() bool {
+	if in := c.fault; in != nil && in.DataBeat() == fault.Detected {
+		return true
+	}
+	return false
+}
+
+func (c *ctl) elseBranch() {
+	if c.obs == nil {
+		return
+	} else {
+		c.obs.Inc("ok")
+	}
+}
+
+func (c *ctl) predicateGuard() {
+	// The nil-safe predicate is the entrance to the pattern; the calls
+	// it dominates are guarded.
+	if c.obs.TraceEnabled() {
+		c.obs.Instant("ok")
+	}
+}
+
+func (c *ctl) predicateEarlyReturn() {
+	o := c.obs
+	if !o.TraceEnabled() {
+		return
+	}
+	o.Instant("ok")
+}
+
+func (c *ctl) funcFieldGuard() {
+	if c.mem.OnReadFree != nil {
+		c.mem.OnReadFree()
+	}
+	cb := c.mem.OnWriteFree
+	if cb != nil {
+		cb()
+	}
+}
+
+func (c *ctl) funcFieldAliasSwitch(isRead bool) {
+	cb := c.mem.OnWriteFree
+	if isRead {
+		cb = c.mem.OnReadFree
+	}
+	if cb != nil {
+		cb()
+	}
+}
+
+// --- violations ---
+
+func (c *ctl) unguardedDirect() {
+	c.obs.Inc("bad") // want `call through hook field c\.obs is not dominated by a nil check`
+}
+
+func (c *ctl) unguardedChain() bool {
+	return c.fault.RetryBudget() > 0 // want `call through hook field c\.fault is not dominated by a nil check`
+}
+
+func (c *ctl) unguardedAlias() {
+	o := c.obs
+	o.Inc("bad") // want `call through hook field o is not dominated by a nil check`
+}
+
+func (c *ctl) unguardedFuncField() {
+	c.mem.OnWriteFree() // want `hook callback c\.mem\.OnWriteFree invoked without a dominating nil check`
+}
+
+func (c *ctl) unguardedFuncFieldAlias() {
+	cb := c.mem.OnReadFree
+	cb() // want `hook callback cb invoked without a dominating nil check`
+}
+
+func (c *ctl) wrongGuard(other *obs.Observer) {
+	if other != nil {
+		c.obs.Inc("bad") // want `call through hook field c\.obs is not dominated by a nil check`
+	}
+}
+
+// --- out of scope ---
+
+type helper struct{ n int }
+
+func (h *helper) bump() { h.n++ }
+
+type plain struct{ h *helper }
+
+// Non-hook field types are not the analyzer's business.
+func (p *plain) ok() { p.h.bump() }
+
+// Parameters are cold-path wiring, not hook fields: nil-safe methods
+// may be called directly (the real SetObserver pattern).
+func wire(o *obs.Observer) { o.Inc("setup") }
+
+func (c *ctl) allowedCold() {
+	c.obs.Inc("cold") //tdlint:allow hookguard — one-time setup, Observer methods are nil-safe
+}

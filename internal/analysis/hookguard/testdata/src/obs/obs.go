@@ -1,0 +1,21 @@
+// Package obs is a fixture mirror of the observability subsystem's
+// nil-check hook pattern.
+package obs
+
+type Observer struct{ n int }
+
+func (o *Observer) Inc(name string) {
+	if o == nil {
+		return
+	}
+	o.n++
+}
+
+func (o *Observer) Instant(name string) {
+	if o == nil {
+		return
+	}
+	o.n++
+}
+
+func (o *Observer) TraceEnabled() bool { return o != nil }

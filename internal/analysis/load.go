@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader. Upstream analysis drivers lean on golang.org/x/tools/go/
+// packages; this one asks the go command directly: a single
+// `go list -e -export -deps -json` invocation yields every package
+// matching the patterns plus the full dependency closure with compiled
+// export data (from the build cache), and go/importer's gc importer
+// reads that export data through a lookup callback. Only the matched
+// packages themselves are parsed and type-checked from source — imports,
+// including sibling packages in this module, resolve through export
+// data, which keeps a whole-tree run in the couple-of-seconds range the
+// single-core CI budget demands.
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// Allow is the parsed //tdlint:allow index for the package's files.
+	Allow *AllowIndex
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir over patterns.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Export,GoFiles,Standard,DepOnly,Error,DepsErrors",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ListExports returns import path → export-data file for patterns and
+// their whole dependency closure. Used by the analysistest harness to
+// resolve fixture packages' standard-library imports.
+func ListExports(dir string, patterns ...string) (map[string]string, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// ExportImporter returns a types.Importer that resolves imports from gc
+// export-data files. Paths missing from exports fail, except "unsafe",
+// which the gc importer resolves itself.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Load type-checks every non-test package matching patterns (go list
+// syntax, e.g. "./...") under dir and returns them in go list order.
+// Parse or type errors in any matched package fail the whole load: the
+// analyzers' results are only meaningful on a tree that compiles.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var out []*Package
+	var loadErrs []error
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err))
+			continue
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		parseOK := true
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				loadErrs = append(loadErrs, err)
+				parseOK = false
+				continue
+			}
+			files = append(files, f)
+		}
+		if !parseOK {
+			continue
+		}
+		info := NewInfo()
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, _ := conf.Check(p.ImportPath, fset, files, info)
+		if len(typeErrs) > 0 {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %w", p.ImportPath, errors.Join(typeErrs...)))
+			continue
+		}
+		out = append(out, &Package{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+			Allow:      BuildAllowIndex(fset, files),
+		})
+	}
+	if len(loadErrs) > 0 {
+		return out, errors.Join(loadErrs...)
+	}
+	return out, nil
+}

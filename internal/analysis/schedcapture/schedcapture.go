@@ -1,0 +1,127 @@
+// Package schedcapture flags event-kernel Schedule calls whose callback
+// is a variable-capturing closure inside the simulator's hot packages.
+//
+// PR 4's allocation-free timing wheel only stays allocation-free if hot
+// call sites use the typed-argument ScheduleArg/ScheduleArgAt/
+// ScheduleDaemonArg variants with a prebound package-level function: a
+// closure that captures local state forces a heap allocation per
+// scheduled event, which is exactly the regression that cost the kernel
+// its 8.5× win before the conversion. The analyzer encodes that
+// convention: within the hot packages (dramcache, backing, system,
+// dram, trace), sim.Schedule/ScheduleAt/ScheduleDaemon must not be
+// handed a func literal that captures variables. Non-capturing literals
+// compile to static functions and are fine; cold setup paths keep the
+// closure form with a //tdlint:allow schedcapture annotation.
+package schedcapture
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tdram/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "schedcapture",
+	Doc: "flag capturing-closure Schedule callbacks in hot packages\n\n" +
+		"In dramcache, backing, system, dram and trace, callbacks passed to\n" +
+		"sim.Schedule/ScheduleAt/ScheduleDaemon must not capture variables;\n" +
+		"use the ScheduleArg variants with a prebound function instead.",
+	Run: run,
+}
+
+// hotPackages are the packages whose Schedule sites sit on the
+// simulation hot path (matched by import-path base).
+var hotPackages = map[string]bool{
+	"dramcache": true,
+	"backing":   true,
+	"system":    true,
+	"dram":      true,
+	"trace":     true,
+}
+
+// argVariant maps each closure-based Schedule entry point to its
+// typed-argument replacement.
+var argVariant = map[string]string{
+	"Schedule":       "ScheduleArg",
+	"ScheduleAt":     "ScheduleArgAt",
+	"ScheduleDaemon": "ScheduleDaemonArg",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !hotPackages[analysis.PathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			variant, ok := argVariant[sel.Sel.Name]
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			fn := analysis.FuncOf(pass.TypesInfo, call.Fun)
+			if fn == nil || fn.Pkg() == nil || analysis.PathBase(fn.Pkg().Path()) != "sim" {
+				return true
+			}
+			lit, ok := call.Args[1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			caps := captured(pass.TypesInfo, pass.Pkg, lit)
+			if len(caps) == 0 {
+				return true
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: call.Args[1].Pos(),
+				Message: "sim." + sel.Sel.Name + " callback captures " + strings.Join(caps, ", ") +
+					": closure allocates per event on a hot path",
+				SuggestedFixes: []analysis.SuggestedFix{{
+					Message: "use sim." + variant + " with a package-level func(any, sim.Tick) and the captured state as arg",
+				}},
+			})
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// captured returns the names of variables the func literal closes over:
+// non-field variables declared in an enclosing function scope (package-
+// level variables and the literal's own parameters/locals are free).
+func captured(info *types.Info, pkg *types.Package, lit *ast.FuncLit) []string {
+	seen := make(map[*types.Var]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe || v.Parent() == pkg.Scope() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,12 @@
+package schedcapture_test
+
+import (
+	"testing"
+
+	"tdram/internal/analysis/analysistest"
+	"tdram/internal/analysis/schedcapture"
+)
+
+func TestSchedCapture(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), schedcapture.Analyzer, "dramcache", "coldpkg")
+}

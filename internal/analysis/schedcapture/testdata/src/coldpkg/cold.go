@@ -1,0 +1,15 @@
+// Package coldpkg is not on the hot-package list: capturing closures
+// are fine here.
+package coldpkg
+
+import "sim"
+
+type runner struct {
+	s *sim.Simulator
+	n int
+}
+
+func (r *runner) setup(delay sim.Tick) {
+	t := r.n
+	r.s.Schedule(delay, func() { r.n = t }) // cold package: not flagged
+}

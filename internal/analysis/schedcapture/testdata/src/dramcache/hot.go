@@ -1,0 +1,35 @@
+// Package dramcache is a hot-package fixture: capturing Schedule
+// callbacks here must be flagged.
+package dramcache
+
+import "sim"
+
+var pending int
+
+type ctl struct {
+	s *sim.Simulator
+	n int
+}
+
+// runTxn is the blessed prebound-callback form.
+func runTxn(a any, now sim.Tick) { a.(*ctl).n++ }
+
+func (c *ctl) demand(delay sim.Tick) {
+	t := c.n
+	c.s.Schedule(delay, func() { c.n = t })        // want `sim\.Schedule callback captures c, t: closure allocates per event on a hot path`
+	c.s.ScheduleAt(delay, func() { _ = t })        // want `sim\.ScheduleAt callback captures t`
+	c.s.ScheduleDaemon(delay, func() { c.tick() }) // want `sim\.ScheduleDaemon callback captures c`
+
+	// A literal that only touches package-level state compiles to a
+	// static function: no per-event allocation, not flagged.
+	c.s.Schedule(delay, func() { pending++ })
+
+	// The typed-argument variants are the fix.
+	c.s.ScheduleArg(delay, runTxn, c)
+	c.s.ScheduleDaemonArg(delay, runTxn, c)
+
+	//tdlint:allow schedcapture — cold setup path, runs once per configuration
+	c.s.Schedule(delay, func() { c.n = 0 })
+}
+
+func (c *ctl) tick() {}

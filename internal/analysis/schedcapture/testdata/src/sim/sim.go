@@ -1,0 +1,15 @@
+// Package sim is a fixture mirror of the real event kernel's Schedule
+// API surface; the analyzer matches it by import-path base.
+package sim
+
+type Tick int64
+
+type Simulator struct{}
+
+func (s *Simulator) Schedule(delay Tick, fn func())       { fn() }
+func (s *Simulator) ScheduleAt(when Tick, fn func())      { fn() }
+func (s *Simulator) ScheduleDaemon(delay Tick, fn func()) { fn() }
+
+func (s *Simulator) ScheduleArg(delay Tick, fn func(any, Tick), arg any)       { fn(arg, delay) }
+func (s *Simulator) ScheduleArgAt(when Tick, fn func(any, Tick), arg any)      { fn(arg, when) }
+func (s *Simulator) ScheduleDaemonArg(delay Tick, fn func(any, Tick), arg any) { fn(arg, delay) }

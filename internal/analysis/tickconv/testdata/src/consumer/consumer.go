@@ -1,0 +1,23 @@
+// Package consumer models controller code that must take its timing
+// from named parameters rather than raw literals.
+package consumer
+
+import (
+	"dram"
+	"sim"
+)
+
+var unset = sim.Tick(-1) // the conventional "unset time" sentinel is exempt
+
+func schedule(now sim.Tick) sim.Tick {
+	d := sim.Tick(2500) // want `raw integer literal 2500 converted to sim\.Tick`
+	_ = d
+
+	e := sim.NS(2.5)         // blessed: unit-converting constructor
+	f := 3 * sim.Nanosecond  // blessed: named unit constant
+	g := dram.TRCD           // blessed: named parameter
+	neg := sim.Tick(-812500) // want `raw integer literal -812500 converted to sim\.Tick`
+	h := sim.Tick(7500)      //tdlint:allow tickconv — one-off ablation constant pending a params entry
+
+	return now + e + f + g + h + neg
+}

@@ -1,0 +1,12 @@
+package dram
+
+import "sim"
+
+var rowCycle = sim.Tick(45000) // want `raw integer literal 45000 converted to sim\.Tick`
+
+func next(t sim.Tick) sim.Tick {
+	if t < 0 {
+		t = sim.Tick(0) // zero initialization is exempt
+	}
+	return t + TRCD
+}

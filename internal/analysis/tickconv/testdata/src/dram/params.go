@@ -1,0 +1,10 @@
+// The timing-parameter table: the one file outside sim where raw
+// literal Tick conversions are the point.
+package dram
+
+import "sim"
+
+var (
+	TRCD   = sim.Tick(13750)
+	TBURST = sim.Tick(2500)
+)

@@ -1,0 +1,15 @@
+// Package sim is a fixture mirror of the kernel's Tick type. Raw
+// literal conversions are allowed inside this package.
+package sim
+
+type Tick int64
+
+const (
+	Picosecond Tick = 1
+	Nanosecond Tick = 1000
+)
+
+// NS converts nanoseconds to ticks; conversions here are exempt.
+func NS(ns float64) Tick { return Tick(ns*float64(Nanosecond) + 0.5) }
+
+var epoch = Tick(1000)

@@ -1,0 +1,99 @@
+// Package tickconv flags raw integer literals converted to sim.Tick
+// outside the two places timing values are allowed to originate: the
+// sim package itself (unit constants, parsing) and the DRAM timing
+// tables in internal/dram/params.go.
+//
+// The paper's Table III parameters (tRCD, tHM_int, tBURST, ...) must
+// flow through named parameters so that every design variant derives
+// its timing from one audited table; a bare sim.Tick(1250) scattered in
+// a controller silently forks the timing model. The literals 0 (zero
+// initialization) and -1 (the conventional "unset time" sentinel) are
+// exempt — they are not timing values.
+package tickconv
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"tdram/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "tickconv",
+	Doc: "flag raw integer literals converted to sim.Tick\n\n" +
+		"Timing values must come from named parameters (internal/dram/params.go),\n" +
+		"sim unit constants (sim.Nanosecond, ...) or sim.NS; 0 and -1 are exempt.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if analysis.PathBase(pass.Pkg.Path()) == "sim" {
+		return nil, nil
+	}
+	paramsFile := analysis.PathBase(pass.Pkg.Path()) == "dram"
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		if paramsFile && filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "params.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() || !isSimTick(tv.Type) {
+				return true
+			}
+			lit, neg := literalArg(call.Args[0])
+			if lit == nil || lit.Kind != token.INT {
+				return true
+			}
+			if lit.Value == "0" || (neg && lit.Value == "1") {
+				return true // zero init and the -1 sentinel are not timing values
+			}
+			text := lit.Value
+			if neg {
+				text = "-" + text
+			}
+			pass.Report(analysis.Diagnostic{
+				Pos: call.Pos(),
+				Message: "raw integer literal " + text + " converted to sim.Tick: timing values " +
+					"must flow from named parameters",
+				SuggestedFixes: []analysis.SuggestedFix{{
+					Message: "use a parameter from internal/dram/params.go, sim.NS(...), or a multiple of sim.Nanosecond",
+				}},
+			})
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isSimTick reports whether t is the named type Tick from a package
+// whose import-path base is "sim".
+func isSimTick(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Tick" && obj.Pkg() != nil && analysis.PathBase(obj.Pkg().Path()) == "sim"
+}
+
+// literalArg unwraps parens and a single unary +/- around a basic
+// literal, reporting whether the sign was negative.
+func literalArg(e ast.Expr) (*ast.BasicLit, bool) {
+	e = ast.Unparen(e)
+	neg := false
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		neg = u.Op == token.SUB
+		e = ast.Unparen(u.X)
+	}
+	lit, _ := e.(*ast.BasicLit)
+	return lit, neg
+}

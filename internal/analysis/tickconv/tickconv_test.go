@@ -1,0 +1,12 @@
+package tickconv_test
+
+import (
+	"testing"
+
+	"tdram/internal/analysis/analysistest"
+	"tdram/internal/analysis/tickconv"
+)
+
+func TestTickConv(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), tickconv.Analyzer, "sim", "dram", "consumer")
+}

@@ -56,8 +56,12 @@ func (d *Device) SetObserver(o *obs.Observer) {
 // data bank.
 func (c *Channel) bankTrack(bank int) obs.TrackID {
 	if c.tracks.bank[bank] == 0 {
+		o := c.obs
+		if o == nil {
+			return 0
+		}
 		proc := fmt.Sprintf("%s.ch%d", c.p.Name, c.index)
-		c.tracks.bank[bank] = c.obs.Track(proc, fmt.Sprintf("bank%02d", bank))
+		c.tracks.bank[bank] = o.Track(proc, fmt.Sprintf("bank%02d", bank))
 	}
 	return c.tracks.bank[bank]
 }
@@ -65,8 +69,12 @@ func (c *Channel) bankTrack(bank int) obs.TrackID {
 // tagTrack is bankTrack for the paired tag bank.
 func (c *Channel) tagTrack(bank int) obs.TrackID {
 	if c.tracks.tag[bank] == 0 {
+		o := c.obs
+		if o == nil {
+			return 0
+		}
 		proc := fmt.Sprintf("%s.ch%d", c.p.Name, c.index)
-		c.tracks.tag[bank] = c.obs.Track(proc, fmt.Sprintf("tag%02d", bank))
+		c.tracks.tag[bank] = o.Track(proc, fmt.Sprintf("tag%02d", bank))
 	}
 	return c.tracks.tag[bank]
 }
@@ -99,23 +107,27 @@ func (c *Channel) opMnemonic(op Op) string {
 // observeCommit emits the trace events and command-mix counters for one
 // committed access. Callers nil-check c.obs first.
 func (c *Channel) observeCommit(op Op, iss Issue) {
-	mn := c.opMnemonic(op)
-	c.obs.Inc(c.p.Name + ".cmd." + mn)
-	if !c.obs.TraceEnabled() {
+	o := c.obs
+	if o == nil {
 		return
 	}
-	c.obs.Slice(c.tracks.ca, mn, iss.At, iss.At+c.p.TCMD)
+	mn := c.opMnemonic(op)
+	o.Inc(c.p.Name + ".cmd." + mn)
+	if !o.TraceEnabled() {
+		return
+	}
+	o.Slice(c.tracks.ca, mn, iss.At, iss.At+c.p.TCMD)
 	if iss.DataEnd > iss.DataStart {
-		c.obs.Slice(c.tracks.dq, mn, iss.DataStart, iss.DataEnd)
+		o.Slice(c.tracks.dq, mn, iss.DataStart, iss.DataEnd)
 	}
 	if iss.BankFree > 0 {
-		c.obs.Slice(c.bankTrack(op.Bank), fmt.Sprintf("row act b%d", op.Bank), iss.At, iss.BankFree)
+		o.Slice(c.bankTrack(op.Bank), fmt.Sprintf("row act b%d", op.Bank), iss.At, iss.BankFree)
 	}
 	if iss.TagInt > 0 {
 		// Tag bank busy for its full cycle; the HM bus carries the
 		// hit/miss result tHM_bus wide starting when the tag comparison
 		// completes internally.
-		c.obs.Slice(c.tagTrack(op.Bank), "tag act", iss.At, iss.At+c.p.TRCTag)
-		c.obs.Slice(c.tracks.hm, "HM", iss.TagInt, iss.TagInt+c.p.THMBus)
+		o.Slice(c.tagTrack(op.Bank), "tag act", iss.At, iss.At+c.p.TRCTag)
+		o.Slice(c.tracks.hm, "HM", iss.TagInt, iss.TagInt+c.p.THMBus)
 	}
 }

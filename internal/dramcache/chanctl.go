@@ -32,28 +32,37 @@ const (
 // typed-argument callback's argument — the hot completion paths schedule
 // (package function, *txn) pairs instead of capturing closures, which
 // keeps the per-event allocation count at zero.
+// Pointer- and word-sized fields lead and the flag bytes trail so the
+// struct packs without interior padding (88 bytes rather than the 112
+// the declaration-order layout costs); internal/analysis's fieldalign
+// test pins this.
 type txn struct {
 	cc     *chanCtl
-	kind   txnKind
 	req    *mem.Request // nil for fills
+	dep    *txn         // issue only after dep.done (Ideal write-miss-dirty)
 	line   uint64
+	victim uint64
 	bank   int
 	row    int
 	arrive sim.Tick
+
+	// predDataAt is predictor bookkeeping (§V-D): a predicted-miss read
+	// starts its main-memory fetch in parallel with the tag check.
+	predDataAt sim.Tick
+
+	kind    txnKind
+	outcome mem.Outcome
 
 	// fill records whether the backing fetch's data should be written
 	// into the cache when it arrives (false for BEAR's bypassed fills).
 	fill bool
 
 	outcomeKnown bool
-	outcome      mem.Outcome
-	victim       uint64
 	victimDirty  bool
 
 	probed        bool // TDRAM: outcome fixed by an early tag probe
 	probeResolved bool // the probe's HM result reached the controller
 
-	dep  *txn // issue only after dep.done (Ideal write-miss-dirty)
 	done bool
 
 	// Probed miss-dirty coordination: the fill may only be written after
@@ -61,10 +70,7 @@ type txn struct {
 	mmArrived  bool
 	victimDone bool
 
-	// Predictor bookkeeping (§V-D): a predicted-miss read starts its
-	// main-memory fetch in parallel with the tag check.
 	predStarted bool
-	predDataAt  sim.Tick
 	tagSaidMiss bool
 
 	// retries counts ECC-triggered re-issues of this transaction.
@@ -477,6 +483,11 @@ func chanRetryEv(a any, _ sim.Tick) {
 // request still completes.
 func (cc *chanCtl) faultRetry(t *txn, iss dram.Issue) bool {
 	in := cc.ctl.fault
+	if in == nil {
+		// Unreachable in practice: a Detected outcome implies an armed
+		// injector. The guard keeps the hook contract local.
+		return false
+	}
 	if int(t.retries) >= in.RetryBudget() {
 		in.NoteExhausted()
 		cc.ctl.observeFault("exhausted")

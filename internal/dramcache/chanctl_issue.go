@@ -14,6 +14,9 @@ import (
 // true when the access must be abandoned for a retry.
 func (cc *chanCtl) readFault(t *txn, iss dram.Issue) bool {
 	in := cc.ctl.fault
+	if in == nil {
+		return false
+	}
 	if cc.tagDevice() && !t.outcomeKnown && in.TagRead() == fault.Detected {
 		return cc.faultRetry(t, iss)
 	}

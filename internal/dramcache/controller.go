@@ -342,7 +342,9 @@ func (c *Controller) Stats() *Stats {
 	if c.predictor != nil {
 		c.stats.PredictorAccuracy = c.predictor.Accuracy()
 	}
-	c.stats.Fault = c.fault.Counters()
+	if c.fault != nil {
+		c.stats.Fault = c.fault.Counters()
+	}
 	return &c.stats
 }
 
@@ -387,7 +389,9 @@ func (c *Controller) ResetStats() {
 	c.stats = newStats()
 	// Counters reset; the injector's PRNG stream deliberately does not
 	// (warmup faults happened, only their accounting is discarded).
-	c.fault.ResetCounters()
+	if c.fault != nil {
+		c.fault.ResetCounters()
+	}
 	if c.meter != nil {
 		ch := c.meter.Channels
 		co := c.meter.Coeffs
@@ -676,6 +680,9 @@ func (c *Controller) pumpWritebacks() {
 // its dirty lines are written back and all future demands bypass the
 // cache (graceful degradation instead of serving corrupt data).
 func (c *Controller) recordUncorrectable(line uint64) {
+	if c.fault == nil {
+		return
+	}
 	th := c.fault.RetireThreshold()
 	if th <= 0 {
 		return

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tdram/internal/system"
+)
+
+// TestRenderedOutputByteIdentical is the regression test for the
+// map-iteration findings tdlint's determinism analyzer polices: every
+// rendered figure/table — both the aligned text form and the CSV the
+// results_csv/ artifacts are built from — must be byte-identical across
+// two independently built matrices. Cells are stubbed (a pure function
+// of the cell key), so the only nondeterminism left to catch is the
+// emission path itself: a `for k := range m.Results` feeding a table
+// would fail this test roughly every run.
+func TestRenderedOutputByteIdentical(t *testing.T) {
+	fakeRunCell(t, func(cfg system.Config) (*system.Result, error) {
+		return fakeResult(cfg), nil
+	})
+	build := func() *Matrix {
+		// Jobs > 1 so completion (and Results-map insertion) order
+		// differs between the two builds.
+		m, err := RunMatrixOpts(Quick(), MatrixOptions{Jobs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	render := func(m *Matrix) string {
+		var b strings.Builder
+		for _, r := range AllFromMatrix(m) {
+			b.WriteString(r.String())
+			b.WriteString(r.CSV())
+		}
+		return b.String()
+	}
+	first, second := render(build()), render(build())
+	if first == second {
+		return
+	}
+	fl, sl := strings.Split(first, "\n"), strings.Split(second, "\n")
+	for i := range fl {
+		if i >= len(sl) || fl[i] != sl[i] {
+			t.Fatalf("rendered output differs between two identical runs, first at line %d:\nrun 1: %s\nrun 2: %s",
+				i+1, fl[i], sl[min(i, len(sl)-1)])
+		}
+	}
+	t.Fatal("rendered output differs between two identical runs (length mismatch)")
+}
