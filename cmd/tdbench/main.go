@@ -70,10 +70,11 @@ var standaloneExps = map[string]func(tdram.Scale) (*tdram.Report, error){
 	"abl-condcol":      tdram.AblationCondColumn,
 	"abl-pagepolicy":   tdram.AblationPagePolicy,
 	"resilience":       tdram.Resilience,
+	"latency":          tdram.LatencyStudy,
 }
 
 var matrixOrder = []string{"fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "tab4", "fig13"}
-var standaloneOrder = []string{"predictor", "prefetcher", "flushbuf", "setassoc", "abl-probing", "abl-probe-policy", "abl-flush", "abl-condcol", "abl-pagepolicy", "resilience"}
+var standaloneOrder = []string{"predictor", "prefetcher", "flushbuf", "setassoc", "abl-probing", "abl-probe-policy", "abl-flush", "abl-condcol", "abl-pagepolicy", "resilience", "latency"}
 
 func main() {
 	if err := run(); err != nil {
@@ -91,6 +92,8 @@ func run() error {
 		faultRate  = flag.Float64("fault-rate", 0, "per-access fault-injection probability applied to every cache run (0 disables)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "fault-injection PRNG seed")
 		watchdog   = flag.String("watchdog", "", "override the scale's no-progress watchdog window (e.g. 10ms; 0 disables)")
+		latency    = flag.Bool("latency", false, "shorthand for adding the 'latency' attribution study to -exp")
+		flightReq  = flag.Int("flight-recorder", 0, "arm a flight recorder of the last N request journeys in every run (0 disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		verbose    = flag.Bool("v", false, "print per-run progress")
@@ -141,6 +144,7 @@ func run() error {
 	}
 	scale.FaultRate = *faultRate
 	scale.FaultSeed = *faultSeed
+	scale.FlightDepth = *flightReq
 	if *watchdog != "" {
 		if *watchdog == "0" {
 			scale.Watchdog = 0
@@ -163,6 +167,9 @@ func run() error {
 		ids = append(append([]string{}, matrixOrder...), standaloneOrder...)
 	default:
 		ids = strings.Split(*expList, ",")
+	}
+	if *latency && !contains(ids, "latency") {
+		ids = append(ids, "latency")
 	}
 
 	needMatrix := false
@@ -230,6 +237,15 @@ func run() error {
 				return err
 			}
 		}
+		for i := range rep.Artifacts {
+			a := &rep.Artifacts[i]
+			if csv := a.CSV(); csv != "" {
+				path := filepath.Join(*csvDir, rep.ID+"_"+a.Name+".csv")
+				if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+					return err
+				}
+			}
+		}
 		return nil
 	}
 
@@ -263,6 +279,15 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "tdbench: wrote %s\n", path)
 	}
 	return sweepErr
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // cellErrors unpacks an errors.Join aggregate into its parts.

@@ -55,6 +55,8 @@ func main() {
 		tracePath     = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file")
 		metricsPath   = flag.String("metrics", "", "write sampled time-series metrics (.csv or .json)")
 		metricsEvery  = flag.String("metrics-interval", "1us", "metrics sampling period of simulated time (e.g. 500ns, 1us)")
+		latency       = flag.Bool("latency", false, "attribute per-request latency and print the journey breakdown")
+		flightDepth   = flag.Int("flight-recorder", 0, "keep a flight recorder of the last N request journeys (0 disables)")
 		experiments   = flag.Bool("experiments", false, "run the evaluation matrix and print every figure/table")
 		scaleName     = flag.String("scale", "quick", "matrix scale for -experiments: quick or full")
 		jobs          = flag.Int("jobs", 0, "matrix cells simulated concurrently for -experiments (0 = GOMAXPROCS)")
@@ -130,6 +132,8 @@ func main() {
 		}
 		cfg.Obs.MetricsInterval = iv
 	}
+	cfg.Obs.Journeys = *latency
+	cfg.Obs.FlightRecorder = *flightDepth
 
 	sys, err := tdram.NewSystem(cfg)
 	if err != nil {
@@ -140,8 +144,34 @@ func main() {
 		fatal(err)
 	}
 	printResult(res)
+	if *latency {
+		printJourneys(sys.Observer())
+	}
 	if err := writeObservations(sys.Observer(), *tracePath, *metricsPath); err != nil {
 		fatal(err)
+	}
+}
+
+// printJourneys renders the per-class journey attribution: counts,
+// tail percentiles and the phase breakdown in mean ns per request.
+func printJourneys(o *tdram.Observer) {
+	fmt.Println("request journeys:")
+	for c := mem.JourneyClass(0); c < mem.JourneyClass(mem.NumJourneyClasses); c++ {
+		n := o.JourneyClassCount(c)
+		if n == 0 {
+			continue
+		}
+		h := o.JourneyClassHist(c)
+		fmt.Printf("  %-11s %7d  mean %8.1fns  p50 %8.0f  p90 %8.0f  p99 %8.0f  p99.9 %8.0f\n",
+			c, n, h.MeanNS(), h.PercentileNS(0.50), h.PercentileNS(0.90),
+			h.PercentileNS(0.99), h.PercentileNS(0.999))
+		for p := mem.Phase(0); p < mem.Phase(mem.NumPhases); p++ {
+			sum := o.JourneyPhaseSum(c, p)
+			if sum == 0 {
+				continue
+			}
+			fmt.Printf("      %-14s %8.1fns/req\n", p, sum.Nanoseconds()/float64(n))
+		}
 	}
 }
 
@@ -227,6 +257,15 @@ func writeObservations(o *tdram.Observer, tracePath, metricsPath string) error {
 			fmt.Printf("  %-28s %d\n", c.Name, c.Value)
 		}
 	}
+	if _, dropped := o.TraceEvents(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "tdsim: WARNING: %d trace event(s) dropped (buffer cap); the trace is incomplete\n", dropped)
+	}
+	if dropped := o.SamplesDropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "tdsim: WARNING: %d metric sample(s) dropped (budget cap); the series is incomplete\n", dropped)
+	}
+	for _, snap := range o.FlightSnapshots() {
+		fmt.Println(snap)
+	}
 	return nil
 }
 
@@ -249,10 +288,10 @@ func printResult(r *tdram.Result) {
 		fmt.Printf("  %-17s %d\n", out, o.Count(out))
 	}
 	fmt.Printf("tag check     %.2f ns avg (p95 %.0f, p99 %.0f)\n", r.Cache.TagCheck.Value(),
-		r.Cache.TagCheckHist.Percentile(0.95), r.Cache.TagCheckHist.Percentile(0.99))
+		r.Cache.TagCheckHist.PercentileNS(0.95), r.Cache.TagCheckHist.PercentileNS(0.99))
 	fmt.Printf("read queueing %.2f ns avg\n", r.Cache.ReadQueueing.Value())
 	fmt.Printf("read latency  %.2f ns avg (p95 %.0f, p99 %.0f)\n", r.Cache.ReadLatency.Value(),
-		r.Cache.ReadLatencyHist.Percentile(0.95), r.Cache.ReadLatencyHist.Percentile(0.99))
+		r.Cache.ReadLatencyHist.PercentileNS(0.95), r.Cache.ReadLatencyHist.PercentileNS(0.99))
 	tr := &r.Cache.Traffic
 	fmt.Printf("traffic       cache %.1f MiB (demand %.1f, fill %.1f, victim %.1f, discard %.1f, overfetch %.1f), mm %.1f MiB\n",
 		mib(tr.CacheTotal()), mib(tr.DemandBytes), mib(tr.FillBytes), mib(tr.VictimBytes),

@@ -40,9 +40,11 @@ var Analyzer = &analysis.Analyzer{
 // guardMethods are nil-safe boolean predicates whose truth implies the
 // receiver is non-nil; a call guarded by one counts as checked.
 var guardMethods = map[string]bool{
-	"TraceEnabled":   true,
-	"MetricsEnabled": true,
-	"Enabled":        true,
+	"TraceEnabled":    true,
+	"MetricsEnabled":  true,
+	"Enabled":         true,
+	"JourneysEnabled": true,
+	"FlightEnabled":   true,
 }
 
 func run(pass *analysis.Pass) (any, error) {
@@ -161,6 +163,13 @@ func hookTypeKind(name string, t types.Type) hookKind {
 				switch analysis.PathBase(pkg.Path()) {
 				case "obs", "fault":
 					return ptrHook
+				case "mem":
+					// Only the journey ledger is a hook in package mem;
+					// matching every mem pointer would flag ordinary
+					// *mem.Request fields.
+					if named.Obj().Name() == "Journey" {
+						return ptrHook
+					}
 				}
 			}
 		}

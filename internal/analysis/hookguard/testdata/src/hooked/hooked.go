@@ -4,10 +4,11 @@ package hooked
 
 import (
 	"fault"
+	"mem"
 	"obs"
 )
 
-type mem struct {
+type buses struct {
 	OnReadFree  func()
 	OnWriteFree func()
 }
@@ -15,7 +16,8 @@ type mem struct {
 type ctl struct {
 	obs   *obs.Observer
 	fault *fault.Injector
-	mem   *mem
+	mem   *buses
+	req   *mem.Request
 }
 
 // --- accepted guard shapes ---
@@ -98,7 +100,44 @@ func (c *ctl) funcFieldAliasSwitch(isRead bool) {
 	}
 }
 
+func (c *ctl) journeyGuard() {
+	if j := c.req.J; j != nil {
+		j.Enter(1)
+		j.Span(2, 3)
+	}
+}
+
+func (c *ctl) journeyEarlyReturn() {
+	j := c.req.J
+	if j == nil {
+		return
+	}
+	j.Enter(1)
+}
+
+// Request itself is not a hook: only the Journey ledger it carries is.
+func (c *ctl) requestNotHook() { c.req.Complete() }
+
+func (c *ctl) journeysPredicate() {
+	// The new nil-safe predicates admit their dominated calls.
+	if c.obs.JourneysEnabled() {
+		c.obs.Inc("ok")
+	}
+	if c.obs.FlightEnabled() {
+		c.obs.Inc("ok")
+	}
+}
+
 // --- violations ---
+
+func (c *ctl) unguardedJourney() {
+	c.req.J.Enter(1) // want `call through hook field c\.req\.J is not dominated by a nil check`
+}
+
+func (c *ctl) unguardedJourneyAlias() {
+	j := c.req.J
+	j.Span(1, 2) // want `call through hook field j is not dominated by a nil check`
+}
 
 func (c *ctl) unguardedDirect() {
 	c.obs.Inc("bad") // want `call through hook field c\.obs is not dominated by a nil check`

@@ -1,0 +1,27 @@
+// Package mem is a fixture mirror of the request/journey types: the
+// Journey ledger is a hook (nil when tracking is disabled), the Request
+// that carries it is not.
+package mem
+
+type Journey struct{ n int }
+
+func (j *Journey) Enter(p int) {
+	if j == nil {
+		return
+	}
+	j.n++
+}
+
+func (j *Journey) Span(p, d int) {
+	if j == nil {
+		return
+	}
+	j.n += d
+}
+
+type Request struct {
+	Addr uint64
+	J    *Journey
+}
+
+func (r *Request) Complete() {}

@@ -19,3 +19,7 @@ func (o *Observer) Instant(name string) {
 }
 
 func (o *Observer) TraceEnabled() bool { return o != nil }
+
+func (o *Observer) JourneysEnabled() bool { return o != nil }
+
+func (o *Observer) FlightEnabled() bool { return o != nil }

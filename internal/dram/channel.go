@@ -108,6 +108,10 @@ type Channel struct {
 	// instrumentation at the cost of one branch per commit.
 	obs    *obs.Observer
 	tracks channelTracks
+	// flightUnit names this channel in flight-recorder command lines
+	// ("tdram.ch0"); precomputed at SetObserver so the per-commit hook
+	// never formats.
+	flightUnit string
 
 	// OnRefresh, when set, is invoked at the start of each refresh with
 	// the window during which banks are unavailable but the DQ bus is

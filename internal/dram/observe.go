@@ -31,10 +31,11 @@ type channelTracks struct {
 func (c *Channel) SetObserver(o *obs.Observer) {
 	c.obs = o
 	c.tracks = channelTracks{}
+	c.flightUnit = fmt.Sprintf("%s.ch%d", c.p.Name, c.index)
 	if !o.TraceEnabled() {
 		return
 	}
-	proc := fmt.Sprintf("%s.ch%d", c.p.Name, c.index)
+	proc := c.flightUnit
 	c.tracks.ca = o.Track(proc, "ca")
 	c.tracks.dq = o.Track(proc, "dq")
 	if c.p.HasTagBanks() {
@@ -113,6 +114,9 @@ func (c *Channel) observeCommit(op Op, iss Issue) {
 	}
 	mn := c.opMnemonic(op)
 	o.Inc(c.p.Name + ".cmd." + mn)
+	if o.FlightEnabled() {
+		o.FlightCommand(c.flightUnit, mn, op.Bank, op.Row, iss.At)
+	}
 	if !o.TraceEnabled() {
 		return
 	}

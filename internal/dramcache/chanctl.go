@@ -1,6 +1,8 @@
 package dramcache
 
 import (
+	"fmt"
+
 	"tdram/internal/dram"
 	"tdram/internal/mem"
 	"tdram/internal/obs"
@@ -136,6 +138,9 @@ func (cc *chanCtl) acceptRead(req *mem.Request, bank int) bool {
 			cc.ctl.mmMeter.Cols++
 			cc.ctl.mmMeter.Bytes += 64
 			cc.ctl.mm.ReadArg(line, predictorDataEv, t)
+			if j := req.J; j != nil {
+				j.Enter(mem.PhaseMissFetch, cc.now())
+			}
 		}
 	}
 	cc.readQ = append(cc.readQ, t)
@@ -153,6 +158,9 @@ func (cc *chanCtl) acceptReadIdeal(req *mem.Request, line uint64, bank int) bool
 	cc.st().Outcomes.Add(outcome)
 	cc.observeOutcome(outcome, cc.now())
 	cc.ctl.sampleTagCheck(0)
+	if j := req.J; j != nil {
+		j.Note(outcome)
+	}
 	switch outcome {
 	case mem.ReadHit:
 		cc.readQ = append(cc.readQ, &txn{
@@ -299,6 +307,13 @@ func (cc *chanCtl) issuable(t *txn) bool {
 		// An ActWr that would displace a dirty victim needs flush space.
 		pr := cc.ctl.tags.probe(t.line)
 		if !pr.Hit && pr.Dirty && len(cc.flush) >= cc.cfg().FlushEntries {
+			if r := t.req; r != nil {
+				if j := r.J; j != nil {
+					// Enter dedups, so repeated scheduling passes keep the
+					// first stall tick; issueWrite exits the phase.
+					j.Enter(mem.PhaseFlushStall, cc.now())
+				}
+			}
 			return false
 		}
 	}
@@ -491,6 +506,9 @@ func (cc *chanCtl) faultRetry(t *txn, iss dram.Issue) bool {
 	if int(t.retries) >= in.RetryBudget() {
 		in.NoteExhausted()
 		cc.ctl.observeFault("exhausted")
+		if o := cc.ctl.obs; o != nil && o.FlightEnabled() {
+			o.FlightSnapshot(fmt.Sprintf("uncorrectable fault (line %#x)", t.line))
+		}
 		cc.ctl.recordUncorrectable(t.line)
 		return false
 	}
@@ -502,6 +520,12 @@ func (cc *chanCtl) faultRetry(t *txn, iss dram.Issue) bool {
 		at = cc.now()
 	}
 	backoff := cc.ch.Params().TBURST << (t.retries - 1)
+	if r := t.req; r != nil {
+		if j := r.J; j != nil {
+			j.MarkRetried()
+			j.Enter(mem.PhaseRetryBackoff, at)
+		}
+	}
 	cc.ctl.retryingTxns++
 	cc.ctl.sim.ScheduleArgAt(at+backoff, faultRequeueEv, t)
 	return true
@@ -510,10 +534,15 @@ func (cc *chanCtl) faultRetry(t *txn, iss dram.Issue) bool {
 // faultRequeueEv re-queues a transaction after its fault-retry backoff.
 // ActWr data writes (txnWrite) return to the write queue; every other
 // retried kind is a read-side access.
-func faultRequeueEv(a any, _ sim.Tick) {
+func faultRequeueEv(a any, when sim.Tick) {
 	t := a.(*txn)
 	cc := t.cc
 	cc.ctl.retryingTxns--
+	if r := t.req; r != nil {
+		if j := r.J; j != nil {
+			j.Exit(mem.PhaseRetryBackoff, when)
+		}
+	}
 	if t.kind == txnWrite {
 		cc.writeQ = append(cc.writeQ, t)
 	} else {

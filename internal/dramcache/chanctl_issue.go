@@ -98,6 +98,11 @@ func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
 		return
 	}
 	cc.st().ReadQueueing.AddTick(iss.At - t.arrive)
+	if r := t.req; r != nil {
+		if j := r.J; j != nil {
+			j.Span(mem.PhaseQueueWait, iss.At-t.arrive)
+		}
+	}
 
 	if t.outcomeKnown {
 		// Ideal read-hit, or a TDRAM access whose outcome a probe fixed.
@@ -106,6 +111,11 @@ func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
 			cc.meterColRead()
 			tr.DemandBytes += 64
 			tr.OverheadBytes += cfg.ReadBytes - 64
+			if r := t.req; r != nil {
+				if j := r.J; j != nil {
+					j.Span(mem.PhaseDQBurst, iss.DataEnd-iss.DataStart)
+				}
+			}
 			cc.completeReadAt(t, iss.DataEnd)
 		case mem.ReadMissDirty:
 			// Probed miss-dirty: this access fetches the dirty victim;
@@ -138,6 +148,7 @@ func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
 	tagAt := cc.tagDoneAt(iss) + cc.hmRetransmit()
 	cc.observeOutcome(outcome, tagAt)
 	cc.recordTag(t, tagAt)
+	cc.journeyTagSpans(t, iss, tagAt)
 
 	switch outcome {
 	case mem.ReadHit:
@@ -145,6 +156,11 @@ func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
 		cc.meterColRead()
 		tr.DemandBytes += 64
 		tr.OverheadBytes += cfg.ReadBytes - 64
+		if r := t.req; r != nil {
+			if j := r.J; j != nil {
+				j.Span(mem.PhaseDQBurst, iss.DataEnd-iss.DataStart)
+			}
+		}
 		cc.completeReadAt(t, iss.DataEnd)
 
 	case mem.ReadMissClean:
@@ -176,6 +192,28 @@ func (cc *chanCtl) issueRead(t *txn, iss dram.Issue) {
 		cc.ctl.markInflight(t.line)
 		cc.ctl.sim.ScheduleArgAt(iss.DataEnd, writebackVictimEv, t)
 		cc.resolveMissRead(t, tagAt, true)
+	}
+}
+
+// journeyTagSpans attributes a committed access's tag resolution to the
+// demand's journey: the in-DRAM tag access, then (TDRAM) the HM-bus
+// result return including parity retransmits. It also records the
+// resolved outcome for journey classification.
+func (cc *chanCtl) journeyTagSpans(t *txn, iss dram.Issue, tagAt sim.Tick) {
+	r := t.req
+	if r == nil {
+		return
+	}
+	j := r.J
+	if j == nil {
+		return
+	}
+	j.Note(t.outcome)
+	if cc.cfg().Design == TDRAM {
+		j.Span(mem.PhaseTagCheck, iss.TagInt-iss.At)
+		j.Span(mem.PhaseHMBus, tagAt-iss.TagInt)
+	} else {
+		j.Span(mem.PhaseTagCheck, tagAt-iss.At)
 	}
 }
 
@@ -237,6 +275,11 @@ func predictorDataEv(a any, _ sim.Tick) {
 // predictorData records the arrival of a predicted-miss prefetch.
 func (cc *chanCtl) predictorData(t *txn) {
 	t.predDataAt = cc.now()
+	if r := t.req; r != nil {
+		if j := r.J; j != nil {
+			j.Exit(mem.PhaseMissFetch, t.predDataAt)
+		}
+	}
 	if t.tagSaidMiss {
 		cc.finishPredictedMiss(t)
 	}
@@ -260,6 +303,7 @@ func completeReadEv(a any, when sim.Tick) {
 	t := a.(*txn)
 	c := t.cc.ctl
 	c.sampleReadLatency(when - t.req.Arrive)
+	c.finishJourney(t.req, when)
 	t.req.Complete()
 	c.retryUpstream()
 }
@@ -272,6 +316,14 @@ func (cc *chanCtl) issueWriteTagRead(t *txn, iss dram.Issue) {
 		return
 	}
 	cc.st().ReadQueueing.AddTick(iss.At - t.arrive)
+	if r := t.req; r != nil {
+		if j := r.J; j != nil {
+			// The CL-family tag read is a full data burst: its queueing and
+			// burst time are the write's tag-check cost.
+			j.Span(mem.PhaseQueueWait, iss.At-t.arrive)
+			j.Span(mem.PhaseTagCheck, iss.DataEnd-iss.At)
+		}
+	}
 	outcome, victim, _ := cc.ctl.tags.access(t.line, true, true)
 	cc.st().Outcomes.Add(outcome)
 	cc.observeOutcome(outcome, iss.DataEnd)
@@ -332,6 +384,7 @@ func (cc *chanCtl) issueWrite(t *txn, iss dram.Issue) {
 		tagAt := cc.tagDoneAt(iss) + cc.hmRetransmit()
 		cc.observeOutcome(outcome, tagAt)
 		cc.recordTag(t, tagAt)
+		cc.journeyTagSpans(t, iss, tagAt)
 		if outcome == mem.WriteMissDirty {
 			// The displaced dirty line moves into the flush buffer with
 			// an internal read — no DQ turnaround (§III-D2).
@@ -342,6 +395,16 @@ func (cc *chanCtl) issueWrite(t *txn, iss dram.Issue) {
 	cc.meterColWrite()
 	tr.DemandBytes += 64
 	tr.OverheadBytes += cfg.WriteBytes - 64
+	if r := t.req; r != nil {
+		if j := r.J; j != nil {
+			j.Exit(mem.PhaseFlushStall, iss.At)
+			j.Span(mem.PhaseQueueWait, iss.At-t.arrive)
+			j.Span(mem.PhaseDQBurst, iss.DataEnd-iss.DataStart)
+		}
+	}
+	if r := t.req; r != nil {
+		cc.ctl.finishJourney(r, iss.DataEnd)
+	}
 }
 
 // issueFill writes fetched miss data into the cache.
@@ -427,6 +490,13 @@ func (cc *chanCtl) tryProbe(now sim.Tick) bool {
 		cc.ctl.markInflight(pick.line)
 	}
 	hmAt := iss.HMAt + cc.hmRetransmit()
+	if r := pick.req; r != nil {
+		if j := r.J; j != nil {
+			j.Note(outcome)
+			j.Span(mem.PhaseTagCheck, iss.TagInt-iss.At)
+			j.Span(mem.PhaseHMBus, hmAt-iss.TagInt)
+		}
+	}
 	cc.ctl.sim.ScheduleArgAt(hmAt, probeResultEv, pick)
 	return true
 }
@@ -450,6 +520,11 @@ func (cc *chanCtl) probeResult(t *txn, at sim.Tick) {
 		// data banks; the backing fetch starts immediately.
 		cc.st().ProbeMissClean++
 		cc.st().ReadQueueing.AddTick(at - t.arrive)
+		if r := t.req; r != nil {
+			if j := r.J; j != nil {
+				j.Span(mem.PhaseQueueWait, at-t.arrive)
+			}
+		}
 		cc.remove(&cc.readQ, t)
 		t.fill = true
 		cc.ctl.missFetch(t)
@@ -458,6 +533,11 @@ func (cc *chanCtl) probeResult(t *txn, at sim.Tick) {
 		// Start the backing fetch now; the MAIN access still must read
 		// the dirty victim before the fill may overwrite it.
 		cc.st().ProbeMissDirty++
+		if r := t.req; r != nil {
+			if j := r.J; j != nil {
+				j.Enter(mem.PhaseMissFetch, at)
+			}
+		}
 		cc.ctl.stats.MMReads++
 		cc.ctl.stats.Traffic.MMDemandBytes += 64
 		cc.ctl.mmMeter.Acts++
@@ -476,7 +556,12 @@ func (cc *chanCtl) probeResult(t *txn, at sim.Tick) {
 func probeMissDataEv(a any, _ sim.Tick) {
 	t := a.(*txn)
 	c := t.cc.ctl
-	c.sampleReadLatency(c.sim.Now() - t.req.Arrive)
+	now := c.sim.Now()
+	c.sampleReadLatency(now - t.req.Arrive)
+	if j := t.req.J; j != nil {
+		j.Exit(mem.PhaseMissFetch, now)
+	}
+	c.finishJourney(t.req, now)
 	t.req.Complete()
 	c.resolveInflight(t.line)
 	t.mmArrived = true

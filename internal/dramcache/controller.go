@@ -67,9 +67,12 @@ type Stats struct {
 	// ReadLatency is the full demand-read latency (arrive to data).
 	ReadLatency stats.Mean
 	// TagCheckHist and ReadLatencyHist resolve the distributions behind
-	// the means (2 ns buckets), for tail-latency reporting (p95/p99).
-	TagCheckHist    *stats.Hist
-	ReadLatencyHist *stats.Hist
+	// the means for tail-latency reporting (p95/p99 and beyond). They are
+	// log-bucketed (~1 % relative error from ns to ms), so miss-path and
+	// fault-retry samples land in real buckets instead of a linear
+	// histogram's overflow.
+	TagCheckHist    *stats.LogHist
+	ReadLatencyHist *stats.LogHist
 
 	Traffic TrafficBreakdown
 
@@ -366,21 +369,21 @@ func (c *Controller) Occupancy() (valid, dirty float64) {
 // newStats builds a Stats with its histograms allocated.
 func newStats() Stats {
 	return Stats{
-		TagCheckHist:    stats.NewHist(256, 2),
-		ReadLatencyHist: stats.NewHist(512, 2),
+		TagCheckHist:    stats.NewLogHist(),
+		ReadLatencyHist: stats.NewLogHist(),
 	}
 }
 
 // sampleTagCheck records one tag-check latency sample.
 func (c *Controller) sampleTagCheck(d sim.Tick) {
 	c.stats.TagCheck.AddTick(d)
-	c.stats.TagCheckHist.Add(d.Nanoseconds())
+	c.stats.TagCheckHist.AddTick(d)
 }
 
 // sampleReadLatency records one completed demand read's latency.
 func (c *Controller) sampleReadLatency(d sim.Tick) {
 	c.stats.ReadLatency.AddTick(d)
-	c.stats.ReadLatencyHist.Add(d.Nanoseconds())
+	c.stats.ReadLatencyHist.AddTick(d)
 }
 
 // ResetStats clears measurements (after warmup) without touching cache
@@ -476,6 +479,12 @@ func (c *Controller) Enqueue(req *mem.Request) bool {
 		c.inflight[line] = append(waiters, req)
 		c.conflictCount++
 		c.stats.ConflictWaits++
+		if j := req.J; j != nil {
+			// Coalesced waiters ride the in-flight fill of a miss; without
+			// a resolved outcome of their own they class as clean misses.
+			j.Note(mem.ReadMissClean)
+			j.Enter(mem.PhaseFill, c.sim.Now())
+		}
 		c.countDemand(req)
 		if req.Kind == mem.Read {
 			c.scorePrefetch(line)
@@ -524,8 +533,25 @@ func (c *Controller) countDemand(req *mem.Request) {
 	} else {
 		c.stats.DemandWrites++
 	}
+	if j := req.J; j != nil {
+		j.Exit(mem.PhaseCoreQueue, c.sim.Now())
+	}
 	if c.OnAccept != nil {
 		c.OnAccept(req)
+	}
+}
+
+// finishJourney closes out a request's journey ledger exactly once. The
+// field is cleared before the observer recycles the ledger, so a
+// late-path double finish can never aggregate a pooled (reused) ledger.
+func (c *Controller) finishJourney(req *mem.Request, end sim.Tick) {
+	j := req.J
+	if j == nil {
+		return
+	}
+	req.J = nil
+	if c.obs != nil {
+		c.obs.FinishJourney(j, end)
 	}
 }
 
@@ -543,6 +569,10 @@ func (c *Controller) enqueueNoCache(req *mem.Request) bool {
 		c.mmMeter.Cols++
 		c.mmMeter.Bytes += 64
 		c.countDemand(req)
+		if j := req.J; j != nil {
+			j.MarkBypass()
+			j.Enter(mem.PhaseMissFetch, c.sim.Now())
+		}
 		return true
 	}
 	if !c.mm.Write(line) {
@@ -555,6 +585,10 @@ func (c *Controller) enqueueNoCache(req *mem.Request) bool {
 	c.mmMeter.Cols++
 	c.mmMeter.Bytes += 64
 	c.countDemand(req)
+	if j := req.J; j != nil {
+		j.MarkBypass()
+	}
+	c.finishJourney(req, c.sim.Now())
 	req.Complete()
 	return true
 }
@@ -564,7 +598,12 @@ func (c *Controller) enqueueNoCache(req *mem.Request) bool {
 // started), so the latency sample matches the closure it replaced.
 func (c *Controller) noCacheDone(a any, _ sim.Tick) {
 	req := a.(*mem.Request)
-	c.sampleReadLatency(c.sim.Now() - req.Arrive)
+	now := c.sim.Now()
+	c.sampleReadLatency(now - req.Arrive)
+	if j := req.J; j != nil {
+		j.Exit(mem.PhaseMissFetch, now)
+	}
+	c.finishJourney(req, now)
 	req.Complete()
 	c.retryUpstream()
 }
@@ -576,6 +615,11 @@ func (c *Controller) noCacheDone(a any, _ sim.Tick) {
 // no closure; intake paths with no queued transaction pass a bare
 // carrier txn.
 func (c *Controller) missFetch(t *txn) {
+	if r := t.req; r != nil {
+		if j := r.J; j != nil {
+			j.Enter(mem.PhaseMissFetch, c.sim.Now())
+		}
+	}
 	c.stats.MMReads++
 	c.stats.Traffic.MMDemandBytes += 64
 	c.mmMeter.Acts++
@@ -594,7 +638,12 @@ func missDataEv(a any, _ sim.Tick) {
 	t := a.(*txn)
 	c := t.cc.ctl
 	if t.req != nil {
-		c.sampleReadLatency(c.sim.Now() - t.req.Arrive)
+		now := c.sim.Now()
+		c.sampleReadLatency(now - t.req.Arrive)
+		if j := t.req.J; j != nil {
+			j.Exit(mem.PhaseMissFetch, now)
+		}
+		c.finishJourney(t.req, now)
 		t.req.Complete()
 	}
 	// Data is at the controller: conflict-buffer waiters are served
@@ -643,9 +692,14 @@ func (c *Controller) resolveInflight(line uint64) {
 	}
 	delete(c.inflight, line)
 	c.conflictCount -= len(waiters)
+	now := c.sim.Now()
 	for _, w := range waiters {
+		if j := w.J; j != nil {
+			j.Exit(mem.PhaseFill, now)
+		}
+		c.finishJourney(w, now)
 		if w.Kind == mem.Read {
-			c.sampleReadLatency(c.sim.Now() - w.Arrive)
+			c.sampleReadLatency(now - w.Arrive)
 			w.Complete()
 		} else if c.tags != nil {
 			c.tags.markDirty(line)
@@ -692,6 +746,9 @@ func (c *Controller) recordUncorrectable(line uint64) {
 	}
 	c.fault.NoteRetired()
 	c.observeFault("set.retired")
+	if o := c.obs; o != nil && o.FlightEnabled() {
+		o.FlightSnapshot(fmt.Sprintf("set retired (line %#x)", line))
+	}
 	for _, v := range c.tags.retire(line) {
 		c.writeback(v)
 	}

@@ -60,6 +60,11 @@ func (c *Controller) SetObserver(o *obs.Observer) {
 	})
 	o.Gauge("cache.conflict", func() float64 { return float64(c.conflictCount) })
 	o.Gauge("cache.mmread_wait", func() float64 { return float64(len(c.mmReadWait)) })
+	// Rolling read-latency percentiles. The closures read c.stats (not a
+	// captured Stats pointer) so they survive the warmup ResetStats swap.
+	o.Gauge("cache.read_latency.p50", func() float64 { return c.stats.ReadLatencyHist.PercentileNS(0.50) })
+	o.Gauge("cache.read_latency.p90", func() float64 { return c.stats.ReadLatencyHist.PercentileNS(0.90) })
+	o.Gauge("cache.read_latency.p99", func() float64 { return c.stats.ReadLatencyHist.PercentileNS(0.99) })
 	if c.dev != nil {
 		o.Gauge("cache.dq_util", busUtilGauge(o, c.dev.Channels(), func() uint64 {
 			return c.dev.Stats().DQBusyTicks

@@ -40,6 +40,12 @@ type Scale struct {
 	// bit-identical, and a wedged cell aborts with a dump instead of
 	// hanging the whole sweep.
 	Watchdog sim.Tick
+
+	// FlightDepth, when positive, arms the flight recorder at that ring
+	// depth in every run the scale configures (zero leaves it off). A
+	// watchdog trip or uncorrectable fault then dumps the last journeys
+	// and device commands.
+	FlightDepth int
 }
 
 // defaultWatchdog is the window the stock scales arm: far beyond any
@@ -77,6 +83,7 @@ func (sc Scale) Config(d dramcache.Design, wl workload.Spec) system.Config {
 	cfg.RequestsPerCore = sc.RequestsPerCore
 	cfg.WarmupPerCore = sc.WarmupPerCore
 	cfg.Watchdog = sc.Watchdog
+	cfg.Obs.FlightRecorder = sc.FlightDepth
 	if sc.FaultRate > 0 && d != dramcache.NoCache {
 		cfg.Cache.Fault = fault.Config{Rate: sc.FaultRate, Seed: sc.FaultSeed}
 	}
@@ -184,6 +191,30 @@ type Report struct {
 	Table      fmt.Stringer
 	Summary    []string // the headline numbers, one per line
 	PaperClaim string   // what the paper reports, for comparison
+
+	// Artifacts are companion tables (CDFs, breakdowns) written as
+	// separate CSV files by tdbench's -csv mode and appended, titled,
+	// to the rendered report.
+	Artifacts []Artifact
+}
+
+// Artifact is one companion table of a report.
+type Artifact struct {
+	Name  string // file suffix: <report-id>_<name>.csv
+	Title string
+	Table fmt.Stringer
+
+	// CSVOnly keeps bulk tables (per-bucket CDFs) out of the rendered
+	// report; they still reach disk through tdbench -csv.
+	CSVOnly bool
+}
+
+// CSV renders an artifact's table as CSV (empty when unsupported).
+func (a *Artifact) CSV() string {
+	if c, ok := a.Table.(interface{ CSV() string }); ok {
+		return c.CSV()
+	}
+	return ""
 }
 
 // CSV renders the report's table as CSV (empty when the table does not
@@ -201,6 +232,13 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
 	if r.Table != nil {
 		b.WriteString(r.Table.String())
+	}
+	for _, a := range r.Artifacts {
+		if a.CSVOnly {
+			continue
+		}
+		fmt.Fprintf(&b, "-- %s --\n", a.Title)
+		b.WriteString(a.Table.String())
 	}
 	for _, s := range r.Summary {
 		fmt.Fprintf(&b, "%s\n", s)

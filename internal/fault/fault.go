@@ -27,7 +27,11 @@
 // timing) across runs.
 package fault
 
-import "tdram/internal/ecc"
+import (
+	"fmt"
+
+	"tdram/internal/ecc"
+)
 
 // Config parameterizes an Injector. The zero value disables injection.
 type Config struct {
@@ -113,6 +117,16 @@ type Counters struct {
 	// VictimsLost counts flush-buffer entries dropped after exhausting
 	// their drain retries (the victim's writeback is lost).
 	VictimsLost uint64
+}
+
+// String renders the counters compactly for diagnostic dumps (the
+// flight recorder's fault context, watchdog reports).
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"injected=%d (data=%d tag=%d hm=%d flush=%d) corrected=%d detected=%d miscorrected=%d retries=%d exhausted=%d retired=%d bypasses=%d victims-lost=%d",
+		c.Injected, c.DataFaults, c.TagFaults, c.HMFaults, c.FlushFaults,
+		c.Corrected, c.Detected, c.Miscorrected,
+		c.Retries, c.Exhausted, c.SetsRetired, c.Bypasses, c.VictimsLost)
 }
 
 // Injector injects faults. A nil *Injector is valid and injects nothing.

@@ -1,0 +1,249 @@
+package mem
+
+import (
+	"fmt"
+
+	"tdram/internal/sim"
+)
+
+// Phase identifies one segment of a request's journey through the
+// memory system. Phases are not mutually exclusive in wall-clock terms
+// (a probe can overlap a queue wait); each accumulates its own span so
+// a breakdown table shows where the nanoseconds went, not a partition
+// of the end-to-end latency.
+type Phase uint8
+
+const (
+	// PhaseCoreQueue: from core issue until the controller accepts the
+	// demand into a channel queue (includes conflict-wait and retried
+	// Enqueue attempts under backpressure).
+	PhaseCoreQueue Phase = iota
+	// PhaseQueueWait: controller read/write-queue residency until the
+	// transaction first issues to the device.
+	PhaseQueueWait
+	// PhaseTagCheck: command start until the tag result is known at the
+	// device (tag mat access; the full burst for tags-with-data designs).
+	PhaseTagCheck
+	// PhaseHMBus: hit/miss-result return on TDRAM's HM bus, including
+	// parity retransmits.
+	PhaseHMBus
+	// PhaseDQBurst: the demand's own data burst on the DQ pins.
+	PhaseDQBurst
+	// PhaseMissFetch: DDR5 backing-store fetch on the miss path
+	// (includes waiting for a free backing slot).
+	PhaseMissFetch
+	// PhaseFill: waiting on an in-flight fill of the same line
+	// (secondary-miss coalescing).
+	PhaseFill
+	// PhaseFlushStall: write blocked because the flush buffer is full.
+	PhaseFlushStall
+	// PhaseRetryBackoff: fault-retry backoff after a detected ECC error.
+	PhaseRetryBackoff
+
+	numPhases
+)
+
+// NumPhases is the number of distinct journey phases.
+const NumPhases = int(numPhases)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseCoreQueue:
+		return "core-queue"
+	case PhaseQueueWait:
+		return "queue-wait"
+	case PhaseTagCheck:
+		return "tag-check"
+	case PhaseHMBus:
+		return "hm-bus"
+	case PhaseDQBurst:
+		return "dq-burst"
+	case PhaseMissFetch:
+		return "miss-fetch"
+	case PhaseFill:
+		return "fill-wait"
+	case PhaseFlushStall:
+		return "flush-stall"
+	case PhaseRetryBackoff:
+		return "retry-backoff"
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// JourneyClass buckets completed journeys for the latency histograms.
+type JourneyClass uint8
+
+const (
+	ClassReadHit JourneyClass = iota
+	ClassCleanMiss
+	ClassDirtyMiss
+	ClassWrite
+	ClassBypass
+	ClassRetried
+
+	numJourneyClasses
+)
+
+// NumJourneyClasses is the number of distinct JourneyClass values.
+const NumJourneyClasses = int(numJourneyClasses)
+
+func (c JourneyClass) String() string {
+	switch c {
+	case ClassReadHit:
+		return "read-hit"
+	case ClassCleanMiss:
+		return "clean-miss"
+	case ClassDirtyMiss:
+		return "dirty-miss"
+	case ClassWrite:
+		return "write"
+	case ClassBypass:
+		return "bypass"
+	case ClassRetried:
+		return "retried"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Journey is one request's phase ledger. Journeys are pooled by the
+// observer (freelist discipline, like dramcache's transaction records):
+// the hot path never allocates. All methods are safe on a nil receiver,
+// so instrumentation sites can run unguarded once the field itself has
+// been nil-checked.
+type Journey struct {
+	next *Journey // freelist link, owned by the observer pool
+
+	ID   uint64
+	Line uint64
+	Core int
+
+	Start, End sim.Tick
+
+	// Phases accumulates the total span attributed to each phase; mark
+	// holds the entry tick of currently-open phases, entered the bitmask
+	// of which phases are open.
+	Phases  [NumPhases]sim.Tick
+	mark    [NumPhases]sim.Tick
+	entered uint16
+
+	Outcome Outcome // valid only when the controller resolved one
+	Write   bool
+	Bypass  bool
+	Retried bool
+}
+
+// Enter opens a phase at now. Re-entering an open phase is a no-op, so
+// retried attempts don't reset the original entry point.
+func (j *Journey) Enter(p Phase, now sim.Tick) {
+	if j == nil || j.entered&(1<<p) != 0 {
+		return
+	}
+	j.entered |= 1 << p
+	j.mark[p] = now
+}
+
+// Exit closes a phase at now, accumulating its span. Exiting a phase
+// that is not open is a no-op.
+func (j *Journey) Exit(p Phase, now sim.Tick) {
+	if j == nil || j.entered&(1<<p) == 0 {
+		return
+	}
+	j.entered &^= 1 << p
+	if d := now - j.mark[p]; d > 0 {
+		j.Phases[p] += d
+	}
+}
+
+// Span directly attributes a duration to a phase (for spans whose
+// endpoints a single event already knows). Negative durations clamp.
+func (j *Journey) Span(p Phase, d sim.Tick) {
+	if j == nil || d <= 0 {
+		return
+	}
+	j.Phases[p] += d
+}
+
+// MarkRetried flags the journey as having taken a fault retry.
+func (j *Journey) MarkRetried() {
+	if j != nil {
+		j.Retried = true
+	}
+}
+
+// MarkBypass flags the journey as having bypassed the cache.
+func (j *Journey) MarkBypass() {
+	if j != nil {
+		j.Bypass = true
+	}
+}
+
+// MarkWrite flags the journey as a write demand.
+func (j *Journey) MarkWrite() {
+	if j != nil {
+		j.Write = true
+	}
+}
+
+// Note records the controller's resolved outcome.
+func (j *Journey) Note(o Outcome) {
+	if j != nil {
+		j.Outcome = o
+	}
+}
+
+// Class reports the journey's histogram class. Retried and bypass
+// journeys class as such regardless of outcome (their latency shape is
+// what makes them interesting); then writes; then reads by outcome.
+func (j *Journey) Class() JourneyClass {
+	switch {
+	case j.Retried:
+		return ClassRetried
+	case j.Bypass:
+		return ClassBypass
+	case j.Write:
+		return ClassWrite
+	case j.Outcome == ReadHit:
+		return ClassReadHit
+	case j.Outcome == ReadMissDirty:
+		return ClassDirtyMiss
+	default:
+		return ClassCleanMiss
+	}
+}
+
+// Total reports the end-to-end latency.
+func (j *Journey) Total() sim.Tick { return j.End - j.Start }
+
+// Reset clears the ledger for reuse, preserving the freelist link.
+func (j *Journey) Reset() {
+	next := j.next
+	*j = Journey{}
+	j.next = next
+}
+
+// JourneyPool recycles ledgers through an intrusive freelist; once
+// warmed to the in-flight high-water mark, Get/Put allocate nothing.
+type JourneyPool struct {
+	free *Journey
+}
+
+// Get pops a zeroed ledger (allocating only when the pool is empty).
+func (p *JourneyPool) Get() *Journey {
+	j := p.free
+	if j == nil {
+		return &Journey{}
+	}
+	p.free = j.next
+	j.Reset()
+	return j
+}
+
+// Put returns a ledger to the pool. The caller must have dropped every
+// other reference: the ledger is recycled on the next Get.
+func (p *JourneyPool) Put(j *Journey) {
+	if j == nil {
+		return
+	}
+	j.next = p.free
+	p.free = j
+}

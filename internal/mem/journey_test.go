@@ -1,0 +1,102 @@
+package mem
+
+import "testing"
+
+func TestJourneyNilReceiverSafe(t *testing.T) {
+	var j *Journey
+	j.Enter(PhaseTagCheck, 5)
+	j.Exit(PhaseTagCheck, 10)
+	j.Span(PhaseDQBurst, 3)
+	j.MarkRetried()
+	j.MarkBypass()
+	j.MarkWrite()
+	j.Note(ReadHit)
+}
+
+func TestJourneyEnterExitAccumulates(t *testing.T) {
+	j := &Journey{}
+	j.Enter(PhaseQueueWait, 10)
+	j.Enter(PhaseQueueWait, 50) // re-enter: no-op, keeps the original mark
+	j.Exit(PhaseQueueWait, 30)
+	if j.Phases[PhaseQueueWait] != 20 {
+		t.Errorf("span = %v, want 20 (re-enter must not reset the mark)", j.Phases[PhaseQueueWait])
+	}
+	j.Exit(PhaseQueueWait, 99) // exit while closed: no-op
+	if j.Phases[PhaseQueueWait] != 20 {
+		t.Errorf("closed exit accumulated: %v", j.Phases[PhaseQueueWait])
+	}
+	j.Enter(PhaseQueueWait, 100)
+	j.Exit(PhaseQueueWait, 140)
+	if j.Phases[PhaseQueueWait] != 60 {
+		t.Errorf("second open/close span = %v, want 60", j.Phases[PhaseQueueWait])
+	}
+	// A backdated exit must not subtract.
+	j.Enter(PhaseFill, 100)
+	j.Exit(PhaseFill, 90)
+	if j.Phases[PhaseFill] != 0 {
+		t.Errorf("negative span accumulated: %v", j.Phases[PhaseFill])
+	}
+}
+
+func TestJourneySpanClampsNegative(t *testing.T) {
+	j := &Journey{}
+	j.Span(PhaseHMBus, -5)
+	j.Span(PhaseHMBus, 0)
+	if j.Phases[PhaseHMBus] != 0 {
+		t.Errorf("non-positive span accumulated: %v", j.Phases[PhaseHMBus])
+	}
+	j.Span(PhaseHMBus, 7)
+	if j.Phases[PhaseHMBus] != 7 {
+		t.Errorf("span = %v, want 7", j.Phases[PhaseHMBus])
+	}
+}
+
+func TestJourneyClassPrecedence(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Journey)
+		want JourneyClass
+	}{
+		// The zero Outcome is ReadHit, so read-path instrumentation must
+		// Note() an outcome on every non-hit journey (the controller does
+		// at tag resolution and conflict-buffer admission).
+		{"zero value is read hit", func(j *Journey) {}, ClassReadHit},
+		{"clean miss", func(j *Journey) { j.Note(ReadMissClean) }, ClassCleanMiss},
+		{"dirty miss", func(j *Journey) { j.Note(ReadMissDirty) }, ClassDirtyMiss},
+		{"write", func(j *Journey) { j.MarkWrite(); j.Note(WriteHit) }, ClassWrite},
+		{"bypass beats write", func(j *Journey) { j.MarkWrite(); j.MarkBypass() }, ClassBypass},
+		{"retried beats all", func(j *Journey) { j.MarkWrite(); j.MarkBypass(); j.MarkRetried() }, ClassRetried},
+	}
+	for _, tc := range cases {
+		j := &Journey{}
+		tc.mut(j)
+		if got := j.Class(); got != tc.want {
+			t.Errorf("%s: Class() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestJourneyPoolReuse(t *testing.T) {
+	var p JourneyPool
+	j := p.Get()
+	j.ID = 7
+	j.MarkRetried()
+	j.Enter(PhaseTagCheck, 10)
+	p.Put(j)
+	j2 := p.Get()
+	if j2 != j {
+		t.Error("pool did not recycle the freed ledger")
+	}
+	if j2.ID != 0 || j2.Retried || j2.Phases[PhaseTagCheck] != 0 {
+		t.Errorf("recycled ledger not reset: %+v", j2)
+	}
+	// Exit on the recycled ledger must not see the old open phase.
+	j2.Exit(PhaseTagCheck, 99)
+	if j2.Phases[PhaseTagCheck] != 0 {
+		t.Errorf("stale entered bit survived reset: %v", j2.Phases[PhaseTagCheck])
+	}
+	p.Put(nil) // nil-safe
+	if got := p.Get(); got != j2 && got == nil {
+		t.Error("Get after Put(nil) returned nil")
+	}
+}

@@ -53,6 +53,12 @@ type Request struct {
 	// for writes).
 	OnDone func(*Request)
 
+	// J, when non-nil, is the request's journey ledger: per-phase time
+	// attribution recorded by the controller and finished (classified,
+	// aggregated, pooled) by the observer. Nil whenever journey tracking
+	// is disabled — every touch point nil-checks it, hookguard-enforced.
+	J *Journey
+
 	done bool
 }
 

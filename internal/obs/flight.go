@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"tdram/internal/mem"
+	"tdram/internal/sim"
+)
+
+// flightCmd is one issued DRAM command in the flight ring.
+type flightCmd struct {
+	when sim.Tick
+	unit string // precomputed "<device>.chN" — never built on the hot path
+	op   string // static mnemonic
+	bank int
+	row  int
+}
+
+// FlightRecorder keeps bounded rings of the most recent completed
+// request journeys and issued DRAM commands. Recording is allocation
+// free — both rings are pre-sized, journeys are copied by value, and
+// the unit/op strings are precomputed statics — so an armed recorder
+// never perturbs timing. When a watchdog trip, uncorrectable fault or
+// set retirement fires, the rings are rendered into a snapshot: the
+// last thing the machine did before it went wrong.
+type FlightRecorder struct {
+	journeys []mem.Journey // ring, valid entries [0, jn)
+	jHead    int
+	jn       int
+	jTotal   uint64
+
+	cmds   []flightCmd
+	cHead  int
+	cn     int
+	cTotal uint64
+
+	snapshots    []string
+	snapshotsCap int
+	snapsDropped uint64
+}
+
+// flightCmdFactor sizes the command ring as a multiple of the journey
+// depth: one journey spans several device commands.
+const flightCmdFactor = 4
+
+func newFlightRecorder(depth int) *FlightRecorder {
+	cmdDepth := depth * flightCmdFactor
+	if cmdDepth < 64 {
+		cmdDepth = 64
+	}
+	return &FlightRecorder{
+		journeys:     make([]mem.Journey, depth),
+		cmds:         make([]flightCmd, cmdDepth),
+		snapshotsCap: 8,
+	}
+}
+
+func (f *FlightRecorder) recordJourney(j *mem.Journey) {
+	slot := &f.journeys[f.jHead]
+	*slot = *j // value copy; the ring never follows the freelist link
+	f.jHead = (f.jHead + 1) % len(f.journeys)
+	if f.jn < len(f.journeys) {
+		f.jn++
+	}
+	f.jTotal++
+}
+
+func (f *FlightRecorder) record(unit, op string, bank, row int, at sim.Tick) {
+	slot := &f.cmds[f.cHead]
+	slot.when, slot.unit, slot.op, slot.bank, slot.row = at, unit, op, bank, row
+	f.cHead = (f.cHead + 1) % len(f.cmds)
+	if f.cn < len(f.cmds) {
+		f.cn++
+	}
+	f.cTotal++
+}
+
+// FlightCommand records one issued DRAM command. unit and op must be
+// precomputed/static strings (the device caches its "<name>.chN" label).
+func (o *Observer) FlightCommand(unit, op string, bank, row int, at sim.Tick) {
+	if o == nil || o.flight == nil {
+		return
+	}
+	o.flight.record(unit, op, bank, row, at)
+}
+
+// FlightDepth reports the journey-ring capacity (0 when disabled).
+func (o *Observer) FlightDepth() int {
+	if o == nil || o.flight == nil {
+		return 0
+	}
+	return len(o.flight.journeys)
+}
+
+// FlightDump renders the recorder's current rings, oldest entry first.
+func (o *Observer) FlightDump() string {
+	if o == nil || o.flight == nil {
+		return ""
+	}
+	return o.flight.dump()
+}
+
+// FlightSnapshot renders the rings under a reason header and retains the
+// result (bounded; rare crash-path usage, so allocation is fine here).
+func (o *Observer) FlightSnapshot(reason string) {
+	if o == nil || o.flight == nil {
+		return
+	}
+	f := o.flight
+	if len(f.snapshots) >= f.snapshotsCap {
+		f.snapsDropped++
+		return
+	}
+	f.snapshots = append(f.snapshots, fmt.Sprintf("=== flight snapshot @%v: %s ===\n%s", o.sim.Now(), reason, f.dump()))
+}
+
+// FlightSnapshots returns the retained snapshots in capture order.
+func (o *Observer) FlightSnapshots() []string {
+	if o == nil || o.flight == nil {
+		return nil
+	}
+	return append([]string(nil), o.flight.snapshots...)
+}
+
+func (f *FlightRecorder) dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder: %d/%d journeys (%d total), %d/%d commands (%d total)\n",
+		f.jn, len(f.journeys), f.jTotal, f.cn, len(f.cmds), f.cTotal)
+	for i := 0; i < f.cn; i++ {
+		c := &f.cmds[(f.cHead-f.cn+i+len(f.cmds))%len(f.cmds)]
+		fmt.Fprintf(&b, "  cmd  %-18s %-6s bank=%-2d row=%-5d at=%v\n", c.unit, c.op, c.bank, c.row, c.when)
+	}
+	for i := 0; i < f.jn; i++ {
+		j := &f.journeys[(f.jHead-f.jn+i+len(f.journeys))%len(f.journeys)]
+		fmt.Fprintf(&b, "  jrny id=%-6d core=%d line=%#x class=%-10s total=%v [", j.ID, j.Core, j.Line, j.Class(), j.Total())
+		first := true
+		for p := 0; p < mem.NumPhases; p++ {
+			if d := j.Phases[p]; d > 0 {
+				if !first {
+					b.WriteString(" ")
+				}
+				first = false
+				fmt.Fprintf(&b, "%s=%v", mem.Phase(p), d)
+			}
+		}
+		b.WriteString("]\n")
+	}
+	if f.snapsDropped > 0 {
+		fmt.Fprintf(&b, "  (%d earlier snapshots dropped)\n", f.snapsDropped)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

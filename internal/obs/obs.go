@@ -40,10 +40,21 @@ type Config struct {
 	MaxTraceEvents int
 	// MaxSamples bounds the sampler rows. Zero selects a default.
 	MaxSamples int
+	// Journeys enables per-request phase attribution: every demand
+	// carries a pooled ledger and completions feed per-class latency
+	// histograms and phase sums.
+	Journeys bool
+	// FlightRecorder, when positive, keeps a bounded ring of the most
+	// recent completed journeys and issued DRAM commands for post-mortem
+	// dumps (watchdog trips, uncorrectable faults, set retirement).
+	// Implies journey tracking.
+	FlightRecorder int
 }
 
 // Enabled reports whether any output is requested.
-func (c Config) Enabled() bool { return c.Trace || c.MetricsInterval > 0 }
+func (c Config) Enabled() bool {
+	return c.Trace || c.MetricsInterval > 0 || c.Journeys || c.FlightRecorder > 0
+}
 
 // Observer collects trace events, time-series samples and summary
 // counters from instrumented components. A nil *Observer is the disabled
@@ -52,6 +63,8 @@ type Observer struct {
 	sim      *sim.Simulator
 	trace    *Trace
 	sampler  *Sampler
+	journeys *JourneyLog
+	flight   *FlightRecorder
 	counters map[string]uint64
 }
 
@@ -74,6 +87,12 @@ func New(s *sim.Simulator, cfg Config) *Observer {
 		}
 		o.sampler = newSampler(o, cfg.MetricsInterval, max)
 		o.sampler.start(s)
+	}
+	if cfg.Journeys || cfg.FlightRecorder > 0 {
+		o.journeys = newJourneyLog()
+	}
+	if cfg.FlightRecorder > 0 {
+		o.flight = newFlightRecorder(cfg.FlightRecorder)
 	}
 	// Kernel wiring: the event kernel's own health is the first thing a
 	// stall investigation needs.
@@ -104,6 +123,12 @@ func (o *Observer) TraceEnabled() bool { return o != nil && o.trace != nil }
 // MetricsEnabled reports whether the periodic sampler is running.
 func (o *Observer) MetricsEnabled() bool { return o != nil && o.sampler != nil }
 
+// JourneysEnabled reports whether per-request journey attribution is on.
+func (o *Observer) JourneysEnabled() bool { return o != nil && o.journeys != nil }
+
+// FlightEnabled reports whether the flight recorder is running.
+func (o *Observer) FlightEnabled() bool { return o != nil && o.flight != nil }
+
 // Inc bumps a run-summary counter by one.
 func (o *Observer) Inc(name string) {
 	if o == nil {
@@ -127,20 +152,25 @@ type Counter struct {
 }
 
 // Counters returns the run-summary counters sorted by name, so output is
-// deterministic.
+// deterministic. Dropped observability data — trace events past
+// MaxTraceEvents, sampler rows past MaxSamples — surfaces here as
+// synthetic obs.trace_dropped / obs.samples_dropped counters, so
+// truncated outputs are never mistaken for complete ones.
 func (o *Observer) Counters() []Counter {
 	if o == nil {
 		return nil
 	}
-	names := make([]string, 0, len(o.counters))
-	for n := range o.counters {
-		names = append(names, n)
+	cs := make([]Counter, 0, len(o.counters)+2)
+	for n, v := range o.counters {
+		cs = append(cs, Counter{Name: n, Value: v})
 	}
-	sort.Strings(names)
-	cs := make([]Counter, len(names))
-	for i, n := range names {
-		cs[i] = Counter{Name: n, Value: o.counters[n]}
+	if _, dropped := o.TraceEvents(); dropped > 0 {
+		cs = append(cs, Counter{Name: "obs.trace_dropped", Value: dropped})
 	}
+	if dropped := o.SamplesDropped(); dropped > 0 {
+		cs = append(cs, Counter{Name: "obs.samples_dropped", Value: dropped})
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
 	return cs
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"tdram/internal/mem"
 	"tdram/internal/sim"
 )
 
@@ -44,6 +45,38 @@ func TestNilObserverIsSafe(t *testing.T) {
 	o.Gauge("g", func() float64 { return 0 })
 	if cs := o.Counters(); cs != nil {
 		t.Errorf("nil Counters = %v", cs)
+	}
+	if o.JourneysEnabled() || o.FlightEnabled() {
+		t.Error("nil observer claims journeys/flight enabled")
+	}
+	if j := o.StartJourney(0, 0, false); j != nil {
+		t.Errorf("nil StartJourney = %v", j)
+	}
+	o.FinishJourney(nil, 0)
+	o.AbandonJourney(nil)
+	o.ResetJourneys()
+	if n := o.JourneyClassCount(mem.ClassReadHit); n != 0 {
+		t.Errorf("nil JourneyClassCount = %d", n)
+	}
+	if h := o.JourneyClassHist(mem.ClassReadHit); h != nil {
+		t.Errorf("nil JourneyClassHist = %v", h)
+	}
+	if d := o.JourneyPhaseSum(mem.ClassReadHit, mem.PhaseTagCheck); d != 0 {
+		t.Errorf("nil JourneyPhaseSum = %v", d)
+	}
+	o.FlightCommand("u", "Rd", 0, 0, 0)
+	o.FlightSnapshot("r")
+	if d := o.FlightDepth(); d != 0 {
+		t.Errorf("nil FlightDepth = %d", d)
+	}
+	if s := o.FlightDump(); s != "" {
+		t.Errorf("nil FlightDump = %q", s)
+	}
+	if ss := o.FlightSnapshots(); ss != nil {
+		t.Errorf("nil FlightSnapshots = %v", ss)
+	}
+	if n := o.SamplesDropped(); n != 0 {
+		t.Errorf("nil SamplesDropped = %d", n)
 	}
 	var buf bytes.Buffer
 	if err := o.WriteTrace(&buf); err != nil {
@@ -245,6 +278,128 @@ func TestSamplerMaxSamples(t *testing.T) {
 	s.Run(50_000)
 	if o.Samples() != 4 {
 		t.Errorf("samples = %d, want max 4", o.Samples())
+	}
+}
+
+func TestJourneyLifecycle(t *testing.T) {
+	s := sim.New()
+	o := New(s, Config{Journeys: true})
+	if !o.JourneysEnabled() || o.FlightEnabled() {
+		t.Fatal("Journeys config should enable journeys only")
+	}
+	j := o.StartJourney(2, 0x40, false)
+	if j == nil {
+		t.Fatal("StartJourney = nil with journeys enabled")
+	}
+	if j.ID != 1 || j.Core != 2 || j.Line != 0x40 {
+		t.Errorf("journey fields: %+v", j)
+	}
+	j.Exit(mem.PhaseCoreQueue, 10)
+	j.Span(mem.PhaseTagCheck, 5)
+	j.Note(mem.ReadHit)
+	o.FinishJourney(j, 100)
+
+	if n := o.JourneyClassCount(mem.ClassReadHit); n != 1 {
+		t.Errorf("read-hit count = %d, want 1", n)
+	}
+	if h := o.JourneyClassHist(mem.ClassReadHit); h.N() != 1 || h.Max() != 100 {
+		t.Errorf("read-hit hist n=%d max=%v", h.N(), h.Max())
+	}
+	if d := o.JourneyPhaseSum(mem.ClassReadHit, mem.PhaseTagCheck); d != 5 {
+		t.Errorf("tag-check phase sum = %v, want 5", d)
+	}
+
+	// The pool recycles the finished ledger: the next start must reuse
+	// the same allocation, fully reset.
+	j2 := o.StartJourney(0, 0x80, true)
+	if j2 != j {
+		t.Error("finished journey was not recycled through the pool")
+	}
+	if j2.ID != 2 || !j2.Write || j2.Outcome != 0 || j2.Phases[mem.PhaseTagCheck] != 0 {
+		t.Errorf("recycled journey not reset: %+v", j2)
+	}
+	o.AbandonJourney(j2)
+	if n := o.JourneyClassCount(mem.ClassWrite); n != 0 {
+		t.Errorf("abandoned journey was aggregated: count=%d", n)
+	}
+
+	o.ResetJourneys()
+	if n := o.JourneyClassCount(mem.ClassReadHit); n != 0 {
+		t.Errorf("count after reset = %d", n)
+	}
+	if h := o.JourneyClassHist(mem.ClassReadHit); h.N() != 0 {
+		t.Errorf("hist after reset: n=%d", h.N())
+	}
+}
+
+func TestFlightRecorderRings(t *testing.T) {
+	s := sim.New()
+	o := New(s, Config{FlightRecorder: 4})
+	if !o.FlightEnabled() || !o.JourneysEnabled() {
+		t.Fatal("FlightRecorder config should imply journeys")
+	}
+	if d := o.FlightDepth(); d != 4 {
+		t.Fatalf("FlightDepth = %d, want 4", d)
+	}
+	for i := 0; i < 10; i++ {
+		j := o.StartJourney(0, uint64(i), false)
+		j.Note(mem.ReadHit)
+		o.FinishJourney(j, sim.Tick(10*(i+1)))
+	}
+	for i := 0; i < 300; i++ {
+		o.FlightCommand("dev.ch0", "ActRd", i%16, i, sim.Tick(i))
+	}
+	dump := o.FlightDump()
+	if !strings.Contains(dump, "4/4 journeys (10 total)") {
+		t.Errorf("journey ring header wrong:\n%s", dump)
+	}
+	if !strings.Contains(dump, "64/64 commands (300 total)") {
+		t.Errorf("command ring header wrong:\n%s", dump)
+	}
+	// Oldest-first: the surviving journeys are ids 7..10.
+	if !strings.Contains(dump, "id=7") || strings.Contains(dump, "id=6 ") {
+		t.Errorf("ring retention wrong:\n%s", dump)
+	}
+	// Oldest surviving command is #236 (300-64).
+	if !strings.Contains(dump, "row=236") || strings.Contains(dump, "row=235 ") {
+		t.Errorf("command retention wrong:\n%s", dump)
+	}
+
+	for i := 0; i < 12; i++ {
+		o.FlightSnapshot("reason")
+	}
+	snaps := o.FlightSnapshots()
+	if len(snaps) != 8 {
+		t.Fatalf("snapshots = %d, want capped at 8", len(snaps))
+	}
+	if !strings.Contains(snaps[0], "=== flight snapshot") || !strings.Contains(snaps[0], "reason") {
+		t.Errorf("snapshot header: %q", snaps[0])
+	}
+	// Dropped snapshots surface inside later dumps.
+	if !strings.Contains(o.FlightDump(), "4 earlier snapshots dropped") {
+		t.Errorf("snapshot drop count missing:\n%s", o.FlightDump())
+	}
+}
+
+func TestSamplerDroppedCounter(t *testing.T) {
+	s := sim.New()
+	o := New(s, Config{MetricsInterval: 1000, MaxSamples: 4})
+	s.Run(50_000)
+	if o.Samples() != 4 {
+		t.Fatalf("samples = %d, want 4", o.Samples())
+	}
+	if o.SamplesDropped() == 0 {
+		t.Error("over-budget sampling reported no drops")
+	}
+	// The synthetic counter surfaces the drops in Counters().
+	found := false
+	for _, c := range o.Counters() {
+		if c.Name == "obs.samples_dropped" && c.Value == o.SamplesDropped() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("obs.samples_dropped missing from Counters: %v", o.Counters())
 	}
 }
 

@@ -23,8 +23,9 @@ type Sampler struct {
 	fns    []func() float64
 	tracks []TrackID // lazily created Perfetto counter tracks
 
-	times  []sim.Tick
-	values [][]float64 // values[i] is the column for names[i]
+	times   []sim.Tick
+	values  [][]float64 // values[i] is the column for names[i]
+	dropped uint64      // ticks past the row budget (reported, not stored)
 }
 
 func newSampler(o *Observer, interval sim.Tick, max int) *Sampler {
@@ -52,7 +53,12 @@ func samplerTickEv(a any, _ sim.Tick) {
 
 func (sp *Sampler) tick(s *sim.Simulator) {
 	if len(sp.times) >= sp.max {
-		return // stop rescheduling: the budget is spent
+		// Budget spent: count the dropped row and keep the daemon schedule
+		// alive so the truncation is measured, not silent. Daemon events
+		// cannot perturb model timing, so rescheduling is free of risk.
+		sp.dropped++
+		s.ScheduleDaemonArg(sp.interval, samplerTickEv, sp)
+		return
 	}
 	now := s.Now()
 	sp.times = append(sp.times, now)
@@ -77,6 +83,14 @@ func (o *Observer) Samples() int {
 		return 0
 	}
 	return len(o.sampler.times)
+}
+
+// SamplesDropped reports sampling ticks lost to the MaxSamples budget.
+func (o *Observer) SamplesDropped() uint64 {
+	if o == nil || o.sampler == nil {
+		return 0
+	}
+	return o.sampler.dropped
 }
 
 // MetricsInterval reports the sampling period (0 when disabled).

@@ -42,6 +42,11 @@ type Watchdog struct {
 	progAtCheck     uint64 // progress at the last window check
 	firedAtProgress uint64 // kernel event count at the last retire
 
+	// onTrip, when set, runs once at the moment the watchdog first
+	// trips — before any Report() call, so a flight recorder can
+	// snapshot its rings while they still describe the hang.
+	onTrip func(reason string)
+
 	tripped bool
 	reason  string
 }
@@ -88,6 +93,14 @@ func (w *Watchdog) AddDump(name string, fn func() string) {
 	w.dumps = append(w.dumps, watchdogDump{name, fn})
 }
 
+// SetOnTrip registers a callback invoked once when the watchdog first
+// trips (any trip path: window, event budget, or drained queue).
+func (w *Watchdog) SetOnTrip(fn func(reason string)) {
+	if w != nil {
+		w.onTrip = fn
+	}
+}
+
 // Progress records one retired request. Model layers call it on every
 // demand completion; it resets both liveness checks.
 func (w *Watchdog) Progress() {
@@ -113,6 +126,9 @@ func (w *Watchdog) trip(reason string) {
 	if !w.tripped {
 		w.tripped = true
 		w.reason = reason
+		if w.onTrip != nil {
+			w.onTrip(reason)
+		}
 	}
 }
 

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tdram/internal/sim"
+)
+
+// Every sample must land in a bucket whose bounds contain it, and the
+// bucket's relative width must stay within the advertised ~1.6 % (1/64).
+func TestLogHistBucketBounds(t *testing.T) {
+	vals := []uint64{0, 1, 63, 64, 65, 127, 128, 129, 1000, 27000, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range vals {
+		i := logBucket(v)
+		lo, hi := logBucketBounds(i)
+		if v < lo || v >= hi {
+			t.Errorf("value %d mapped to bucket %d with bounds [%d, %d)", v, i, lo, hi)
+		}
+		if v >= logHistSub {
+			if rel := float64(hi-lo) / float64(lo); rel > 1.0/logHistSub+1e-12 {
+				t.Errorf("value %d: bucket width %d at lo %d gives relative error %v", v, hi-lo, lo, rel)
+			}
+		}
+	}
+}
+
+func TestLogHistBucketRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v >>= 1 // keep within int64 so bucket indexes stay in range
+		i := logBucket(v)
+		lo, hi := logBucketBounds(i)
+		return lo <= v && v < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogHistPercentile(t *testing.T) {
+	h := NewLogHist()
+	if h.Percentile(0.5) != 0 || h.N() != 0 {
+		t.Error("empty histogram not zero")
+	}
+	// 1..1000 ticks: p50 ≈ 500, p99 ≈ 990 within 1/64 relative error.
+	for v := uint64(1); v <= 1000; v++ {
+		h.Add(v)
+	}
+	cases := []struct {
+		frac float64
+		want float64
+	}{{0.50, 500}, {0.90, 900}, {0.99, 990}, {1.0, 1000}}
+	for _, c := range cases {
+		got := float64(h.Percentile(c.frac))
+		if math.Abs(got-c.want)/c.want > 2.0/logHistSub {
+			t.Errorf("p%g = %v, want ~%v", c.frac*100, got, c.want)
+		}
+	}
+	if h.Max() != 1000 || h.Min() != 1 {
+		t.Errorf("extrema: min=%v max=%v", h.Min(), h.Max())
+	}
+	if mean := float64(h.Mean()); math.Abs(mean-500.5) > 1 {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+// Percentiles must be monotone in frac even across octave boundaries.
+func TestLogHistPercentileMonotone(t *testing.T) {
+	h := NewLogHist()
+	for v := uint64(1); v < 100000; v += 7 {
+		h.Add(v)
+	}
+	prev := sim.Tick(-1)
+	for frac := 0.01; frac <= 1.0; frac += 0.01 {
+		p := h.Percentile(frac)
+		if p < prev {
+			t.Fatalf("percentile not monotone: p(%v) = %v < %v", frac, p, prev)
+		}
+		prev = p
+	}
+}
+
+// Unlike the linear Hist, the tail must stay resolved: a millisecond
+// outlier among nanosecond samples reports distinct p99 vs p100.
+func TestLogHistTailResolved(t *testing.T) {
+	h := NewLogHist()
+	for i := 0; i < 999; i++ {
+		h.AddTick(sim.NS(30))
+	}
+	h.AddTick(sim.Millisecond)
+	p99 := h.PercentileNS(0.99)
+	p100 := h.PercentileNS(1.0)
+	if p99 > 35 {
+		t.Errorf("p99 = %v ns, want ~30", p99)
+	}
+	if rel := math.Abs(p100-1e6) / 1e6; rel > 2.0/logHistSub {
+		t.Errorf("p100 = %v ns, want ~1e6", p100)
+	}
+}
+
+func TestLogHistAddTickClampsNegative(t *testing.T) {
+	h := NewLogHist()
+	h.AddTick(-5)
+	if h.N() != 1 || h.Max() != 0 {
+		t.Errorf("negative tick: n=%d max=%v", h.N(), h.Max())
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	a, b := NewLogHist(), NewLogHist()
+	for v := uint64(1); v <= 100; v++ {
+		a.Add(v)
+	}
+	for v := uint64(1000); v <= 2000; v += 10 {
+		b.Add(v)
+	}
+	whole := NewLogHist()
+	whole.Merge(a)
+	whole.Merge(b)
+	whole.Merge(nil)          // nil-safe
+	whole.Merge(NewLogHist()) // empty-safe
+	if whole.N() != a.N()+b.N() {
+		t.Fatalf("merged N = %d", whole.N())
+	}
+	if whole.Min() != 1 || whole.Max() != 2000 {
+		t.Errorf("merged extrema: min=%v max=%v", whole.Min(), whole.Max())
+	}
+	// Merging must be exact: same buckets as adding every sample directly.
+	direct := NewLogHist()
+	for v := uint64(1); v <= 100; v++ {
+		direct.Add(v)
+	}
+	for v := uint64(1000); v <= 2000; v += 10 {
+		direct.Add(v)
+	}
+	if whole.String() != direct.String() {
+		t.Errorf("merge differs from direct:\n%s\n%s", whole, direct)
+	}
+}
+
+func TestLogHistEach(t *testing.T) {
+	h := NewLogHist()
+	h.Add(3)
+	h.Add(3)
+	h.Add(200)
+	var total uint64
+	var last sim.Tick = -1
+	h.Each(func(lo, hi sim.Tick, count uint64) {
+		if lo <= last {
+			t.Errorf("buckets out of order: lo %v after %v", lo, last)
+		}
+		if hi <= lo {
+			t.Errorf("degenerate bucket [%v, %v)", lo, hi)
+		}
+		last = lo
+		total += count
+	})
+	if total != 3 {
+		t.Errorf("Each visited %d samples, want 3", total)
+	}
+}
+
+func TestLogHistString(t *testing.T) {
+	h := NewLogHist()
+	h.Add(2)
+	h.Add(2)
+	h.Add(70)
+	s := h.String()
+	if !strings.Contains(s, "n=3") || !strings.Contains(s, "2:2") {
+		t.Errorf("String = %q", s)
+	}
+	if s != h.String() {
+		t.Error("String not deterministic")
+	}
+}
+
+// The overflow-percentile fix: percentiles landing past the linear
+// range interpolate by rank instead of all collapsing onto Max().
+func TestHistOverflowPercentiles(t *testing.T) {
+	h := NewHist(10, 1.0) // covers [0, 10)
+	for i := 0; i < 50; i++ {
+		h.Add(5)
+	}
+	// 50 overflow samples up to 110.
+	for i := 1; i <= 50; i++ {
+		h.Add(10 + float64(i*2))
+	}
+	cases := []struct {
+		frac float64
+		want float64
+	}{
+		{0.25, 6},   // still in the linear range
+		{0.50, 6},   // the whole linear half sits in bucket 5
+		{0.75, 60},  // rank 25 of 50 overflow: 10 + 100*25/50
+		{1.00, 110}, // the max sample
+		{0.755, 62}, // rank 26: 10 + 100*26/50 (was Max() before the fix)
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.frac); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%g = %v, want %v", c.frac*100, got, c.want)
+		}
+	}
+	// Must stay monotone through the boundary.
+	prev := -1.0
+	for frac := 0.05; frac <= 1.0; frac += 0.05 {
+		p := h.Percentile(frac)
+		if p < prev {
+			t.Fatalf("overflow percentile not monotone at %v: %v < %v", frac, p, prev)
+		}
+		prev = p
+	}
+}

@@ -103,7 +103,13 @@ func (h *Hist) N() uint64 { return h.mean.N() }
 func (h *Hist) Mean() float64 { return h.mean.Value() }
 
 // Percentile reports the value below which frac of samples fall,
-// resolved to bucket granularity. frac must be in (0, 1].
+// resolved to bucket granularity. frac must be in (0, 1]. Percentiles
+// landing in the overflow bucket interpolate linearly between the
+// histogram's upper boundary and the largest sample by overflow rank,
+// rather than silently saturating at Max(): with the overflow region
+// unresolved, rank position is the only information available, and an
+// explicit estimate keeps p50 < p90 < p99 ordering instead of
+// collapsing every overflowed percentile onto one value.
 func (h *Hist) Percentile(frac float64) float64 {
 	if h.mean.N() == 0 {
 		return 0
@@ -116,7 +122,13 @@ func (h *Hist) Percentile(frac float64) float64 {
 			return float64(i+1) * h.width
 		}
 	}
-	return h.mean.Max()
+	// The target rank lies among the overflow samples.
+	bound := float64(len(h.counts)) * h.width
+	if h.overflow == 0 {
+		return bound // unreachable: the loop covers all non-overflow ranks
+	}
+	rank := target - (h.mean.N() - h.overflow) // 1-based rank within overflow
+	return bound + (h.mean.Max()-bound)*float64(rank)/float64(h.overflow)
 }
 
 // GeoMean returns the geometric mean of vs, ignoring non-positive,

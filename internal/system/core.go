@@ -64,6 +64,9 @@ func (c *core) emitWriteback(line uint64) {
 	}
 	c.reqID++
 	req := &mem.Request{ID: c.reqID, Addr: line * mem.LineSize, Kind: mem.Write, Core: c.id}
+	if o := c.sys.obs; o != nil {
+		req.J = o.StartJourney(c.id, line, true)
+	}
 	if len(c.pendingWBs) > 0 || !c.sys.ctl.Enqueue(req) {
 		c.pendingWBs = append(c.pendingWBs, req)
 		c.waitRetry = true
@@ -128,6 +131,9 @@ func (c *core) tick() {
 		req := &mem.Request{
 			ID: c.reqID, Addr: res.MissLine * mem.LineSize, Kind: mem.Read, Core: c.id,
 			OnDone: c.onMiss,
+		}
+		if o := c.sys.obs; o != nil {
+			req.J = o.StartJourney(c.id, res.MissLine, false)
 		}
 		if c.sys.ctl.Enqueue(req) {
 			c.outstanding++

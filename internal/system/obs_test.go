@@ -2,10 +2,13 @@ package system
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"tdram/internal/dramcache"
+	"tdram/internal/mem"
 	"tdram/internal/obs"
+	"tdram/internal/sim"
 	"tdram/internal/workload"
 )
 
@@ -36,7 +39,7 @@ func TestObservabilityDeterminism(t *testing.T) {
 				return res
 			}
 			plain := run(obs.Config{})
-			observed := run(obs.Config{Trace: true, MetricsInterval: 500_000})
+			observed := run(obs.Config{Trace: true, MetricsInterval: 500_000, Journeys: true, FlightRecorder: 64})
 
 			if plain.Runtime != observed.Runtime {
 				t.Errorf("runtime differs: %v without obs, %v with", plain.Runtime, observed.Runtime)
@@ -102,5 +105,115 @@ func TestObserverOutputsPopulated(t *testing.T) {
 		if !found[want] {
 			t.Errorf("counter %q missing (have %v)", want, found)
 		}
+	}
+}
+
+// TestJourneyAccountingMatchesOutcomes cross-checks the journey
+// aggregates against the controller's own demand accounting: every
+// measured-phase demand read must finish exactly one journey, and the
+// read-hit class must agree with the outcome counters. Writes are
+// posted — the controller counts them at accept while the journey
+// finishes at the DQ data burst — so a handful of measured-phase writes
+// may still sit in write queues when the run ends and never finish
+// their journeys. Reads must match exactly; writes may only fall short,
+// and only by a small in-flight window.
+func TestJourneyAccountingMatchesOutcomes(t *testing.T) {
+	wl, err := workload.ByName("ft.C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	designs := append(dramcache.Designs(), dramcache.NoCache)
+	for _, d := range designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(d, wl, 4<<20)
+			cfg.RequestsPerCore = 400
+			cfg.WarmupPerCore = 100
+			cfg.Obs = obs.Config{Journeys: true}
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := sys.Observer()
+			var journeys, reads, writes uint64
+			for c := 0; c < mem.NumJourneyClasses; c++ {
+				n := o.JourneyClassCount(mem.JourneyClass(c))
+				journeys += n
+				switch mem.JourneyClass(c) {
+				case mem.ClassWrite:
+					writes += n
+				case mem.ClassBypass, mem.ClassRetried:
+					// Mixed read/write; counted in the total only.
+				default:
+					reads += n
+				}
+			}
+			const writeSlack = 64 // posted writes still queued at run end
+			demands := res.Cache.DemandReads + res.Cache.DemandWrites
+			if journeys > demands || demands-journeys > writeSlack {
+				t.Errorf("journeys=%d, demand reads+writes=%d", journeys, demands)
+			}
+			if d == dramcache.NoCache {
+				return
+			}
+			if hits := res.Cache.Outcomes.Count(mem.ReadHit); o.JourneyClassCount(mem.ClassReadHit) != hits {
+				t.Errorf("read-hit journeys=%d, read-hit outcomes=%d",
+					o.JourneyClassCount(mem.ClassReadHit), hits)
+			}
+			if reads != res.Cache.DemandReads {
+				t.Errorf("journey reads=%d, controller reads=%d", reads, res.Cache.DemandReads)
+			}
+			if writes > res.Cache.DemandWrites || res.Cache.DemandWrites-writes > writeSlack {
+				t.Errorf("journey writes=%d, controller writes=%d", writes, res.Cache.DemandWrites)
+			}
+			// Every completed read carries end-to-end latency; the class
+			// histogram totals must cover the controller's read count.
+			var histN uint64
+			for c := 0; c < mem.NumJourneyClasses; c++ {
+				histN += o.JourneyClassHist(mem.JourneyClass(c)).N()
+			}
+			if histN != journeys {
+				t.Errorf("histogram samples=%d, journeys=%d", histN, journeys)
+			}
+		})
+	}
+}
+
+// TestWatchdogTripDumpsFlightRecorder forces the drained-queue trip and
+// checks the report carries the flight-recorder section with the last
+// journeys, plus the snapshot taken at trip time.
+func TestWatchdogTripDumpsFlightRecorder(t *testing.T) {
+	wl, err := workload.ByName("ft.C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(dramcache.TDRAM, wl, 4<<20)
+	cfg.RequestsPerCore = 200
+	cfg.WarmupPerCore = 0
+	cfg.Watchdog = 10 * sim.Millisecond
+	cfg.Obs = obs.Config{FlightRecorder: 16}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sys.wd.TripDrained(3)
+	report := sys.wd.Report()
+	if !strings.Contains(report, "flight: flight recorder: 16/16 journeys") {
+		t.Errorf("report lacks the flight dump:\n%s", report)
+	}
+	if !strings.Contains(report, "jrny id=") || !strings.Contains(report, "cmd  hbm3-cache.ch") {
+		t.Errorf("flight dump lacks journeys/commands:\n%s", report)
+	}
+	snaps := sys.Observer().FlightSnapshots()
+	if len(snaps) != 1 || !strings.Contains(snaps[0], "watchdog: event queue drained with 3 request(s) outstanding") {
+		t.Errorf("trip snapshot missing or wrong: %q", snaps)
 	}
 }

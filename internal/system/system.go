@@ -174,6 +174,12 @@ func New(cfg Config) (*System, error) {
 		wd.AddDump("cores", sys.describeStall)
 		wd.AddDump("cachectl", ctl.DebugState)
 		wd.AddDump("backing", mm.DebugState)
+		if o := sys.obs; o != nil && o.FlightEnabled() {
+			wd.AddDump("flight", o.FlightDump)
+			wd.SetOnTrip(func(reason string) {
+				o.FlightSnapshot("watchdog: " + reason)
+			})
+		}
 		sys.wd = wd
 	}
 	// Workload footprints scale against the nominal cache capacity even
@@ -338,6 +344,9 @@ func (sys *System) Run() (*Result, error) {
 		}
 	}
 	sys.ctl.ResetStats()
+	if o := sys.obs; o != nil {
+		o.ResetJourneys()
+	}
 	start := sys.sim.Now()
 	for _, c := range sys.cores {
 		c.misses = 0

@@ -193,6 +193,9 @@ var (
 	PredictorStudy = experiments.SecVD
 	// Resilience sweeps fault-injection rates over TDRAM.
 	Resilience = experiments.Resilience
+	// LatencyStudy attributes per-request latency to journey phases and
+	// reports per-class tail percentiles, breakdowns and CDFs.
+	LatencyStudy = experiments.Latency
 	// PrefetcherStudy reproduces §V-D's prefetcher discussion.
 	PrefetcherStudy = experiments.Prefetcher
 	// FlushBufferStudy reproduces §V-E (buffer size sensitivity).
