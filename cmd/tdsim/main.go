@@ -14,6 +14,9 @@
 // matrix at -scale instead of one simulation, fanning cells out across
 // -jobs workers (default GOMAXPROCS), and prints every matrix-derived
 // figure and table. A failed cell is reported and skipped, not fatal.
+// By default the matrix shares one warmup image per workload across the
+// designs (bit-identical to a full replay; -snapshot-warmup=false
+// replays warmup per cell instead).
 //
 // With -trace, the run records every committed DRAM command, tag-check
 // result, probe and flush-buffer event as Chrome trace-event JSON; load
@@ -60,6 +63,7 @@ func main() {
 		experiments   = flag.Bool("experiments", false, "run the evaluation matrix and print every figure/table")
 		scaleName     = flag.String("scale", "quick", "matrix scale for -experiments: quick or full")
 		jobs          = flag.Int("jobs", 0, "matrix cells simulated concurrently for -experiments (0 = GOMAXPROCS)")
+		snapWarmup    = flag.Bool("snapshot-warmup", true, "share one warmup image per workload across matrix designs (false replays warmup per cell)")
 		list          = flag.Bool("list", false, "list workloads and exit")
 		showConfig    = flag.Bool("show-config", false, "print the Table III device timing and exit")
 		showOverheads = flag.Bool("show-overheads", false, "print the paper's analytical area/pin overheads and exit")
@@ -82,7 +86,7 @@ func main() {
 		return
 	}
 	if *experiments {
-		if err := runExperiments(*scaleName, *jobs); err != nil {
+		if err := runExperiments(*scaleName, *jobs, *snapWarmup); err != nil {
 			fatal(err)
 		}
 		return
@@ -179,7 +183,7 @@ func printJourneys(o *tdram.Observer) {
 // pool and renders every matrix-derived figure/table. Per-cell failures
 // are reported on stderr; completed cells still render, and the error
 // return (nonzero exit) records that the sweep was partial.
-func runExperiments(scaleName string, jobs int) error {
+func runExperiments(scaleName string, jobs int, snapshotWarmup bool) error {
 	var scale tdram.Scale
 	switch scaleName {
 	case "quick":
@@ -190,7 +194,9 @@ func runExperiments(scaleName string, jobs int) error {
 		return fmt.Errorf("unknown scale %q (quick or full)", scaleName)
 	}
 	progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
-	m, err := tdram.RunMatrixOpts(scale, tdram.MatrixOptions{Jobs: jobs, Progress: progress})
+	m, err := tdram.RunMatrixOpts(scale, tdram.MatrixOptions{
+		Jobs: jobs, Progress: progress, ReplayWarmup: !snapshotWarmup,
+	})
 	if err != nil && len(m.Results) == 0 {
 		return err
 	}

@@ -94,6 +94,30 @@ func indexedFill(m map[string]int, procs []string) {
 	}
 }
 
+// --- snapshot/fork capture shapes ---
+
+// A warmup-image capture that serializes a scoring map into a slice
+// inherits the map's randomized iteration order: runs forked from the
+// image would diverge from a straight-line run.
+func captureScores(m map[uint64]int) []uint64 {
+	var lines []uint64
+	for line := range m {
+		lines = append(lines, line) // want `appending to lines while ranging over a map without sorting afterwards`
+	}
+	return lines
+}
+
+// Map-to-map cloning stores each entry in a key-determined slot, so
+// iteration order never escapes: the snapshot deep-copy idiom is order-
+// free and must not be flagged.
+func cloneScores(m map[uint64]int) map[uint64]int {
+	d := make(map[uint64]int, len(m))
+	for k, v := range m {
+		d[k] = v
+	}
+	return d
+}
+
 func allowedAppend(m map[string]int) []string {
 	var ks []string
 	for k := range m {

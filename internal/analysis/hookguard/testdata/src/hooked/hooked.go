@@ -167,6 +167,27 @@ func (c *ctl) wrongGuard(other *obs.Observer) {
 	}
 }
 
+// --- snapshot/fork path ---
+
+// Rebinding hook fields while cloning state is assignment, not
+// invocation: a fork's new owner installs its own hooks, and the copy
+// itself needs no guard.
+func (c *ctl) cloneRebind(dst *ctl) {
+	dst.obs = c.obs
+	dst.mem.OnWriteFree = c.mem.OnWriteFree
+}
+
+// A restore that notifies subscribers must still guard the callback it
+// just copied — having assigned the field does not prove it non-nil.
+func (c *ctl) restoreAndNotify(src *ctl) {
+	c.mem.OnReadFree = src.mem.OnReadFree
+	if cb := c.mem.OnReadFree; cb != nil {
+		cb()
+	}
+	c.mem.OnWriteFree = src.mem.OnWriteFree
+	c.mem.OnWriteFree() // want `hook callback c\.mem\.OnWriteFree invoked without a dominating nil check`
+}
+
 // --- out of scope ---
 
 type helper struct{ n int }

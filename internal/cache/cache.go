@@ -204,6 +204,17 @@ func (c *Cache) MarkDirty(lineAddr uint64) bool {
 	return false
 }
 
+// Clone returns a deep copy of the cache: content, LRU state, and hit
+// counters all duplicated, so the copy and the original evolve
+// independently. The warmup-image fork uses this to hand every design
+// cell its own prewarmed SRAM stack.
+func (c *Cache) Clone() *Cache {
+	d := *c
+	d.lines = append([]line(nil), c.lines...)
+	d.tags = append([]uint64(nil), c.tags...)
+	return &d
+}
+
 // Occupancy reports the fraction of valid lines (warmup diagnostics).
 func (c *Cache) Occupancy() float64 {
 	n := 0
@@ -245,6 +256,13 @@ func NewSizedHierarchy(l1Bytes, l2Bytes uint64) *Hierarchy {
 		panic(err)
 	}
 	return &Hierarchy{L1: l1, L2: l2}
+}
+
+// Clone returns a deep copy of the stack's content and counters. The
+// WriteBack callback is NOT carried over — it points at the original
+// owner's core; the new owner must rebind it before the first access.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{L1: h.L1.Clone(), L2: h.L2.Clone()}
 }
 
 // AccessResult summarizes one core access against the stack.

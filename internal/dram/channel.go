@@ -237,31 +237,36 @@ func (c *Channel) Earliest(op Op, after sim.Tick) sim.Tick {
 	t := after
 	burst := c.burst(op)
 	off, dir := c.dataOffset(op)
-	usesData := op.Kind == OpRead || op.Kind == OpWrite
+	tag := c.usesTag(op)
+	// Bank-state bounds are static lower bounds: the search below only
+	// ever advances t, so once applied here they can never re-bind and
+	// need not be rechecked inside the bus-convergence loop.
+	if op.Kind == OpRead || op.Kind == OpWrite {
+		if b := c.bankNext[op.Bank]; t < b {
+			t = b
+		}
+		if b := c.lastAct + c.p.TRRD; t < b {
+			t = b
+		}
+		if b := c.fawBound(); t < b {
+			t = b
+		}
+	}
+	var tagOff sim.Tick
+	if tag {
+		if b := c.tagNext[op.Bank]; t < b {
+			t = b
+		}
+		if b := c.lastTagAct + c.p.TRRDTag; t < b {
+			t = b
+		}
+		tagOff = c.p.TagInternalOffset()
+	}
 	for iter := 0; ; iter++ {
 		if iter > 256 {
 			panic(fmt.Sprintf("dram: %s: Earliest did not converge for %v", c.p.Name, op.Kind))
 		}
 		start := t
-		if usesData {
-			if b := c.bankNext[op.Bank]; t < b {
-				t = b
-			}
-			if b := c.lastAct + c.p.TRRD; t < b {
-				t = b
-			}
-			if b := c.fawBound(); t < b {
-				t = b
-			}
-		}
-		if c.usesTag(op) {
-			if b := c.tagNext[op.Bank]; t < b {
-				t = b
-			}
-			if b := c.lastTagAct + c.p.TRRDTag; t < b {
-				t = b
-			}
-		}
 		// CA slot.
 		if at := c.ca.FirstFree(t, c.p.TCMD); at > t {
 			t = at
@@ -273,8 +278,8 @@ func (c *Channel) Earliest(op Op, after sim.Tick) sim.Tick {
 			}
 		}
 		// HM slot.
-		if c.usesTag(op) {
-			hmAt := t + c.p.TagInternalOffset()
+		if tag {
+			hmAt := t + tagOff
 			if s := c.hm.FirstFree(hmAt, c.p.THMBus); s > hmAt {
 				t += s - hmAt
 			}

@@ -99,11 +99,15 @@ type chanCtl struct {
 
 	flush []flushEntry // victim lines parked in the on-die flush buffer
 
-	draining  bool
-	retryAt   sim.Tick
-	retryGen  uint64
-	retryFree *retryEv // recycled retry-event records
-	lineFree  *lineEv  // recycled deferred-writeback records
+	draining bool
+	// forceDrain makes the explicit StreamRead path eligible whenever the
+	// flush buffer is non-empty, regardless of the design's high-water
+	// policy — the end-of-run residual drain (Controller.DrainResidual).
+	forceDrain bool
+	retryAt    sim.Tick
+	retryGen   uint64
+	retryFree  *retryEv // recycled retry-event records
+	lineFree   *lineEv  // recycled deferred-writeback records
 
 	// Perfetto tracks; zero when tracing is off (see observe.go).
 	trkReadQ  obs.TrackID
@@ -330,6 +334,10 @@ func (cc *chanCtl) pass() {
 		cc.overflow = cc.overflow[1:]
 	}
 	issued := false
+	// future is the earliest future issue time seen by the final
+	// (non-issuing) scan round below; earlier rounds' values are stale the
+	// moment a commit changes the channel state, so each round overwrites.
+	future := sim.Tick(-1)
 	for {
 		if cc.draining {
 			if len(cc.writeQ) <= writeLoWater {
@@ -351,13 +359,15 @@ func (cc *chanCtl) pass() {
 		if cc.draining || len(cc.readQ) == 0 {
 			primary, secondary = &cc.writeQ, &cc.readQ
 		}
-		if t := cc.firstIssuable(*primary, now); t != nil {
+		t, fp := cc.firstIssuable(*primary, now)
+		if t != nil {
 			cc.remove(primary, t)
 			cc.issue(t, now)
 			issued = true
 			continue
 		}
-		if t := cc.firstIssuable(*secondary, now); t != nil {
+		t, fs := cc.firstIssuable(*secondary, now)
+		if t != nil {
 			cc.remove(secondary, t)
 			cc.issue(t, now)
 			issued = true
@@ -369,9 +379,16 @@ func (cc *chanCtl) pass() {
 			issued = true
 			continue
 		}
+		// Nothing committed this round, so the per-queue futures computed
+		// by the two scans above describe the channel's current state —
+		// retry arming reuses them rather than re-running both scans.
+		future = fp
+		if future < 0 || (fs >= 0 && fs < future) {
+			future = fs
+		}
 		break
 	}
-	cc.scheduleRetry(now)
+	cc.scheduleRetry(now, future)
 	cc.observeQueues()
 	if issued {
 		cc.ctl.retryUpstream()
@@ -384,21 +401,30 @@ func (cc *chanCtl) pass() {
 const schedWindow = 16
 
 // firstIssuable returns the oldest transaction issuable exactly now,
-// looking at most schedWindow candidates deep.
-func (cc *chanCtl) firstIssuable(q []*txn, now sim.Tick) *txn {
+// looking at most schedWindow candidates deep. Alongside it reports the
+// earliest future issue time among the candidates scanned before it
+// returned (-1 when none): when no transaction can issue now, that is
+// the queue's retry bound, already computed — re-deriving it would
+// repeat every Earliest call on unchanged channel state.
+func (cc *chanCtl) firstIssuable(q []*txn, now sim.Tick) (*txn, sim.Tick) {
+	future := sim.Tick(-1)
 	seen := 0
 	for _, t := range q {
 		if !cc.issuable(t) {
 			continue
 		}
 		if seen++; seen > schedWindow {
-			return nil
+			return nil, future
 		}
-		if cc.ch.Earliest(cc.op(t), now) == now {
-			return t
+		at := cc.ch.Earliest(cc.op(t), now)
+		if at == now {
+			return t, future
+		}
+		if future < 0 || at < future {
+			future = at
 		}
 	}
-	return nil
+	return nil, future
 }
 
 func (cc *chanCtl) remove(q *[]*txn, t *txn) {
@@ -412,26 +438,10 @@ func (cc *chanCtl) remove(q *[]*txn, t *txn) {
 }
 
 // scheduleRetry arms a wakeup at the earliest future issue opportunity
-// within the scheduling window.
-func (cc *chanCtl) scheduleRetry(now sim.Tick) {
-	best := sim.Tick(-1)
-	consider := func(q []*txn) {
-		seen := 0
-		for _, t := range q {
-			if !cc.issuable(t) {
-				continue
-			}
-			if seen++; seen > schedWindow {
-				return
-			}
-			at := cc.ch.Earliest(cc.op(t), now)
-			if best < 0 || at < best {
-				best = at
-			}
-		}
-	}
-	consider(cc.readQ)
-	consider(cc.writeQ)
+// within the scheduling window. best carries the earliest candidate time
+// the caller's queue scans already established (-1 when no transaction
+// is pending); only the explicit-drain opportunity is probed here.
+func (cc *chanCtl) scheduleRetry(now, best sim.Tick) {
 	if cc.needExplicitDrain() {
 		at := cc.ch.Earliest(dram.Op{Kind: dram.OpStreamRead}, now)
 		if best < 0 || at < best {

@@ -681,6 +681,9 @@ func (cc *chanCtl) needExplicitDrain() bool {
 	if !cc.tagDevice() || len(cc.flush) == 0 {
 		return false
 	}
+	if cc.forceDrain {
+		return true
+	}
 	if cc.cfg().Design == NDC {
 		return len(cc.flush) >= cc.cfg().FlushEntries*3/4 ||
 			(len(cc.readQ) == 0 && len(cc.writeQ) == 0)

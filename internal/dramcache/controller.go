@@ -395,6 +395,18 @@ func (c *Controller) ResetStats() {
 	if c.fault != nil {
 		c.fault.ResetCounters()
 	}
+	// Likewise the predictor: the learned table persists (it is warmed
+	// state), but the accuracy score restarts so PredictorAccuracy covers
+	// measured accesses only.
+	if c.predictor != nil {
+		c.predictor.ResetAccuracy()
+	}
+	// Drop warmup-issued prefetches from the usefulness scoring map:
+	// otherwise measured-phase PrefetchesUseful can count (and even
+	// exceed) prefetches whose issue was never measured.
+	if c.prefetched != nil && len(c.prefetched) > 0 {
+		clear(c.prefetched)
+	}
 	if c.meter != nil {
 		ch := c.meter.Channels
 		co := c.meter.Coeffs
@@ -822,6 +834,22 @@ func (c *Controller) bearObserve(line uint64, outcome mem.Outcome) {
 	case bearBypassLeader:
 		if c.bearPSel < bearPSelMax {
 			c.bearPSel++
+		}
+	}
+}
+
+// DrainResidual switches every channel's flush buffer to forced explicit
+// draining and kicks a scheduling pass. TDRAM parks dirty victims for
+// opportunistic (free-slot or refresh-window) drains, so when demand
+// traffic stops, entries can outlive the last scheduled event; forcing
+// the explicit StreamRead path makes the drain self-sustaining through
+// the ordinary retry arming until the buffers are empty. Terminal: the
+// flag is never cleared, so this must only run after the measured phase.
+func (c *Controller) DrainResidual() {
+	for _, cc := range c.chans {
+		cc.forceDrain = true
+		if len(cc.flush) > 0 {
+			cc.pass()
 		}
 	}
 }

@@ -26,6 +26,15 @@ type MatrixOptions struct {
 	// same workload-major cell order as a serial sweep regardless of which
 	// worker finishes first, so the output of two runs can be diffed.
 	Progress func(string)
+
+	// ReplayWarmup disables the shared-warmup fork: every cell replays its
+	// own prewarm pass, the pre-fork behaviour. By default (false) the
+	// sweep builds one WarmupImage per workload and forks each design cell
+	// from it — bit-identical results (the fork point precedes the first
+	// timed event) at a fraction of the prewarm cost. Cells whose config
+	// an image cannot seed fall back to replay individually; each progress
+	// line reports which path ran as warmup=fork or warmup=replay.
+	ReplayWarmup bool
 }
 
 // CellError records the failure of one (design, workload) cell of a
@@ -43,21 +52,70 @@ func (e *CellError) Error() string {
 
 func (e *CellError) Unwrap() error { return e.Err }
 
-// runCell executes one cell; tests replace it to inject faults.
+// runCell executes one cell from a cold start; tests replace it to
+// inject faults (which also disables the fork path — see fakeRunCell).
 var runCell = func(cfg system.Config) (*system.Result, error) {
 	return system.Run(cfg)
 }
 
-// runCellSafe converts a panicking simulation into a per-cell error so one
-// broken cell cannot take down the rest of the sweep (or the finished
-// part of it).
-func runCellSafe(cfg system.Config) (res *system.Result, err error) {
+// buildImage builds one workload's shared warmup image; tests replace it
+// alongside runCell.
+var buildImage = func(cfg system.Config) (*system.WarmupImage, error) {
+	return system.BuildWarmupImage(cfg)
+}
+
+// runCellSafe executes one cell, forking from img when one is available
+// and compatible, and converts a panicking simulation into a per-cell
+// error so one broken cell cannot take down the rest of the sweep (or
+// the finished part of it). It reports whether the cell ran from the
+// fork or from a full warmup replay.
+func runCellSafe(cfg system.Config, img *system.WarmupImage) (res *system.Result, forked bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return runCell(cfg)
+	if img != nil {
+		res, err = system.RunWithImage(cfg, img)
+		if err == nil {
+			return res, true, nil
+		}
+		if !errors.Is(err, system.ErrIncompatibleImage) {
+			return nil, true, err // a real simulation failure, not a fork limitation
+		}
+		// This design's config cannot be seeded from the shared image;
+		// fall back to a full replay for this cell only.
+	}
+	res, err = runCell(cfg)
+	return res, false, err
+}
+
+// imageSet lazily builds at most one WarmupImage per workload, on
+// whichever worker first reaches a cell of that workload; the other
+// workers' cells block on the Once until it is ready. A build failure
+// (error or panic) leaves the slot nil and every cell of the workload
+// replays its own warmup.
+type imageSet struct {
+	sc   Scale
+	once []sync.Once
+	imgs []*system.WarmupImage
+}
+
+func newImageSet(sc Scale) *imageSet {
+	return &imageSet{sc: sc, once: make([]sync.Once, len(sc.Workloads)), imgs: make([]*system.WarmupImage, len(sc.Workloads))}
+}
+
+func (is *imageSet) get(wi int) *system.WarmupImage {
+	is.once[wi].Do(func() {
+		defer func() { recover() }() // a broken build degrades to replay
+		// The image is design-independent; build it under the first matrix
+		// design's config (any would do — compatibility is checked per cell).
+		cfg := is.sc.Config(MatrixDesigns()[0], is.sc.Workloads[wi])
+		if img, err := buildImage(cfg); err == nil {
+			is.imgs[wi] = img
+		}
+	})
+	return is.imgs[wi]
 }
 
 // cell is one (workload, design) coordinate in sweep order.
@@ -99,10 +157,16 @@ func RunMatrixOpts(sc Scale, opts MatrixOptions) (*Matrix, error) {
 	// progress stream is deterministic.
 	results := make([]*system.Result, len(cells))
 	errs := make([]error, len(cells))
+	forked := make([]bool, len(cells))
 	done := make([]chan struct{}, len(cells))
 	for i := range done {
 		done[i] = make(chan struct{})
 	}
+	var images *imageSet
+	if !opts.ReplayWarmup {
+		images = newImageSet(sc)
+	}
+	designs := len(MatrixDesigns())
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
@@ -111,12 +175,16 @@ func RunMatrixOpts(sc Scale, opts MatrixOptions) (*Matrix, error) {
 			defer wg.Done()
 			for i := range next {
 				c := cells[i]
-				res, err := runCellSafe(sc.Config(c.d, c.wl))
+				var img *system.WarmupImage
+				if images != nil {
+					img = images.get(i / designs) // cells are workload-major
+				}
+				res, fk, err := runCellSafe(sc.Config(c.d, c.wl), img)
 				if err != nil {
 					err = &CellError{Design: c.d, Workload: c.wl.Name, Err: err}
 					res = nil
 				}
-				results[i], errs[i] = res, err
+				results[i], errs[i], forked[i] = res, err, fk
 				close(done[i])
 			}
 		}()
@@ -143,8 +211,12 @@ func RunMatrixOpts(sc Scale, opts MatrixOptions) (*Matrix, error) {
 		res := results[i]
 		m.Results[Key{c.d, c.wl.Name}] = res
 		if opts.Progress != nil {
-			opts.Progress(fmt.Sprintf("%-8s %-12s runtime=%-12v missratio=%.2f",
-				c.wl.Name, c.d.String(), res.Runtime, res.Cache.Outcomes.MissRatio()))
+			warmup := "replay"
+			if forked[i] {
+				warmup = "fork"
+			}
+			opts.Progress(fmt.Sprintf("%-8s %-12s runtime=%-12v missratio=%.2f warmup=%s",
+				c.wl.Name, c.d.String(), res.Runtime, res.Cache.Outcomes.MissRatio(), warmup))
 		}
 	}
 	wg.Wait()

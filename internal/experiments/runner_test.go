@@ -14,13 +14,19 @@ import (
 )
 
 // fakeRunCell installs a runCell stub for the duration of the test, so
-// runner-machinery tests don't pay for real simulations. The stub result
-// is a pure function of the cell so any schedule yields the same matrix.
+// runner-machinery tests don't pay for real simulations. The warmup
+// image builder is stubbed out alongside it (its images would only feed
+// real system runs), so every stubbed cell takes the replay path and
+// the stub sees all of them. The stub result is a pure function of the
+// cell so any schedule yields the same matrix.
 func fakeRunCell(t *testing.T, fn func(cfg system.Config) (*system.Result, error)) {
 	t.Helper()
-	old := runCell
+	oldRun, oldBuild := runCell, buildImage
 	runCell = fn
-	t.Cleanup(func() { runCell = old })
+	buildImage = func(system.Config) (*system.WarmupImage, error) {
+		return nil, fmt.Errorf("warmup images disabled with runCell stubbed")
+	}
+	t.Cleanup(func() { runCell, buildImage = oldRun, oldBuild })
 }
 
 func fakeResult(cfg system.Config) *system.Result {

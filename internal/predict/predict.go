@@ -63,6 +63,14 @@ func (p *MAPI) Update(core int, line uint64, hit bool) {
 	}
 }
 
+// ResetAccuracy clears the accuracy accounting (updates, correct,
+// predictions) while keeping the learned counter table — called at the
+// warmup/measured boundary so reported accuracy covers only measured
+// accesses, trained by a warmed table.
+func (p *MAPI) ResetAccuracy() {
+	p.predictions, p.updates, p.correct = 0, 0, 0
+}
+
 // Accuracy reports the fraction of trained accesses the table state
 // predicted correctly.
 func (p *MAPI) Accuracy() float64 {

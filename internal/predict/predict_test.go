@@ -59,7 +59,20 @@ func TestAccuracyTracking(t *testing.T) {
 	// Only the first update mispredicts (counter 2 predicts hit; it then
 	// drops to 1, which already predicts miss).
 	if got := p2.Accuracy(); got != 0.99 {
-		t.Errorf("accuracy on miss stream = %v, want 0.99", got)
+		t.Errorf("accuracy = %v, want 0.99", got)
+	}
+	// ResetAccuracy restarts the score but keeps the learned table: the
+	// miss-trained counter still predicts miss, scored from zero.
+	p2.ResetAccuracy()
+	if p2.Accuracy() != 0 || p2.Predictions() != 0 {
+		t.Errorf("after reset: accuracy=%v predictions=%d", p2.Accuracy(), p2.Predictions())
+	}
+	if p2.Predict(0, 7) {
+		t.Error("reset dropped the learned table")
+	}
+	p2.Update(0, 7, false)
+	if got := p2.Accuracy(); got != 1.0 {
+		t.Errorf("post-reset accuracy = %v, want 1.0 (warmed table, fresh score)", got)
 	}
 }
 

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// This file fuzzes Snapshot/Restore against the only correctness
+// definition that matters: a kernel restored from a snapshot must fire
+// the exact (id, when) event sequence — and land on the exact final
+// clock/accounting — that the original kernel fires from the same
+// point. The generated programs exercise every queue shape: same-tick
+// bursts (insertion-order tie-breaks), daemons (nonDaemon accounting
+// decides when Run drains), overflow-tier events past the wheel's
+// horizon, and scheduling from inside callbacks. Callbacks schedule
+// through a swappable environment pointer — the fork discipline the
+// snapshot API documents.
+
+// snapEnv is the shared model state behind every fuzz callback. The
+// harness re-aims s at whichever simulator is being driven before
+// resuming it; trace collects (id, now) pairs.
+type snapEnv struct {
+	s     *Simulator
+	trace []snapFire
+}
+
+type snapFire struct {
+	id uint64
+	at Tick
+}
+
+// snapMix hashes an event id into the deterministic per-event decision
+// stream (children, delays, daemon flags) so behaviour depends only on
+// the id, never on execution history — the property that makes the
+// forked and straight-line runs comparable.
+func snapMix(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xFF51AFD7ED558CCD
+	v ^= v >> 33
+	v *= 0xC4CEB9FE1A85EC53
+	return v ^ (v >> 33)
+}
+
+// snapDelays are the child delays the fuzz programs draw from: same-tick
+// bursts, near ticks, a mid-wheel hop, a level-1 hop, and two past the
+// l1Span horizon so the overflow tier is exercised (including one far
+// enough to stay in overflow across several window advances).
+var snapDelays = []Tick{0, 0, 1, 3, 64, 5000, l1Span / 2, l1Span + 17, 5 * l1Span}
+
+// snapEvent fires one fuzz event: record the trace entry, then derive
+// children from the id hash and schedule them into env.s through every
+// schedule variant.
+func snapEvent(env *snapEnv, id uint64, depth int) func() {
+	return func() {
+		env.trace = append(env.trace, snapFire{id, env.s.Now()})
+		if depth >= 4 {
+			return
+		}
+		h := snapMix(id)
+		kids := int(h % 4) // 0..3 children
+		for k := 0; k < kids; k++ {
+			kh := snapMix(id + uint64(k+1)*0x9E3779B97F4A7C15)
+			delay := snapDelays[kh%uint64(len(snapDelays))]
+			kid := kh | 1
+			switch kh >> 60 & 3 {
+			case 0:
+				env.s.Schedule(delay, snapEvent(env, kid, depth+1))
+			case 1:
+				env.s.ScheduleAt(env.s.Now()+delay, snapEvent(env, kid, depth+1))
+			case 2:
+				env.s.ScheduleArg(delay, snapArgEvent, &snapArg{env, kid, depth + 1})
+			default:
+				// Daemon child: fires only while non-daemon work remains.
+				env.s.ScheduleDaemon(delay, snapEvent(env, kid, depth+1))
+			}
+		}
+	}
+}
+
+type snapArg struct {
+	env   *snapEnv
+	id    uint64
+	depth int
+}
+
+func snapArgEvent(a any, _ Tick) {
+	sa := a.(*snapArg)
+	snapEvent(sa.env, sa.id, sa.depth)()
+}
+
+// seedProgram schedules the initial event population for one fuzz round.
+func seedProgram(env *snapEnv, rng *rand.Rand) {
+	n := 4 + rng.Intn(24)
+	for i := 0; i < n; i++ {
+		delay := snapDelays[rng.Intn(len(snapDelays))]
+		id := snapMix(uint64(i)+rng.Uint64()) | 1
+		if rng.Intn(5) == 0 {
+			env.s.ScheduleDaemon(delay, snapEvent(env, id, 0))
+		} else {
+			env.s.Schedule(delay, snapEvent(env, id, 0))
+		}
+	}
+}
+
+// kernelFingerprint summarizes the observable end state compared across
+// the straight-line and forked runs.
+type kernelFingerprint struct {
+	now      Tick
+	fired    uint64
+	pending  int
+	overflow int
+}
+
+func fingerprint(s *Simulator) kernelFingerprint {
+	return kernelFingerprint{s.Now(), s.Fired(), s.Pending(), s.OverflowPending()}
+}
+
+func TestSnapshotForkMatchesStraightLine(t *testing.T) {
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	for seed := int64(0); seed < int64(rounds); seed++ {
+		// Straight-line reference: seed, step a prefix, run to drain.
+		ref := &snapEnv{s: New()}
+		rng := rand.New(rand.NewSource(seed))
+		seedProgram(ref, rng)
+		prefix := rng.Intn(2 * ref.s.Pending())
+		for i := 0; i < prefix && ref.s.Step(); i++ {
+		}
+		refMid := len(ref.trace)
+		ref.s.Run(0)
+		refEnd := fingerprint(ref.s)
+
+		// Forked run: identical seed and prefix, then snapshot and resume
+		// twice — once on the original kernel, once on a restored copy.
+		env := &snapEnv{s: New()}
+		rng = rand.New(rand.NewSource(seed))
+		seedProgram(env, rng)
+		prefix = rng.Intn(2 * env.s.Pending())
+		for i := 0; i < prefix && env.s.Step(); i++ {
+		}
+		if got, want := len(env.trace), refMid; got != want {
+			t.Fatalf("seed %d: prefix fired %d events, reference %d", seed, got, want)
+		}
+		snap := env.s.Snapshot()
+		if snap.Now() != env.s.Now() || snap.Pending() != env.s.Pending() {
+			t.Fatalf("seed %d: snapshot reports now=%v pending=%d, kernel %v/%d",
+				seed, snap.Now(), snap.Pending(), env.s.Now(), env.s.Pending())
+		}
+
+		// Branch A: the original kernel keeps running past the snapshot.
+		env.trace = env.trace[:0]
+		env.s.Run(0)
+		tailA := append([]snapFire(nil), env.trace...)
+		endA := fingerprint(env.s)
+
+		// Branch B, twice: fresh kernels restored from the same snapshot.
+		for branch := 0; branch < 2; branch++ {
+			fresh := New()
+			fresh.Restore(snap)
+			env.s = fresh // re-aim the shared environment (fork discipline)
+			env.trace = env.trace[:0]
+			fresh.Run(0)
+			if got, want := len(env.trace), len(tailA); got != want {
+				t.Fatalf("seed %d branch %d: restored run fired %d events, original %d",
+					seed, branch, got, want)
+			}
+			for i := range tailA {
+				if env.trace[i] != tailA[i] {
+					t.Fatalf("seed %d branch %d: event %d diverged: restored %+v original %+v",
+						seed, branch, i, env.trace[i], tailA[i])
+				}
+			}
+			if end := fingerprint(fresh); end != endA {
+				t.Fatalf("seed %d branch %d: end state %+v, original %+v", seed, branch, end, endA)
+			}
+		}
+
+		// The straight-line reference must equal prefix + tail.
+		if refMid+len(tailA) != len(ref.trace) {
+			t.Fatalf("seed %d: straight-line fired %d events, prefix %d + tail %d",
+				seed, len(ref.trace), refMid, len(tailA))
+		}
+		for i, f := range tailA {
+			if ref.trace[refMid+i] != f {
+				t.Fatalf("seed %d: tail event %d diverged from straight-line: %+v vs %+v",
+					seed, i, f, ref.trace[refMid+i])
+			}
+		}
+		if endA != refEnd {
+			t.Fatalf("seed %d: forked end state %+v, straight-line %+v", seed, endA, refEnd)
+		}
+	}
+}
+
+// A snapshot must stay valid after the source kernel moves on: restoring
+// it rewinds to the captured point even though the original has since
+// drained and mutated its buckets.
+func TestSnapshotSurvivesSourceMutation(t *testing.T) {
+	env := &snapEnv{s: New()}
+	rng := rand.New(rand.NewSource(99))
+	seedProgram(env, rng)
+	for i := 0; i < 5; i++ {
+		env.s.Step()
+	}
+	snap := env.s.Snapshot()
+	wantNow, wantPend := snap.Now(), snap.Pending()
+
+	// Mutate the source heavily: drain it, then schedule fresh events.
+	env.s.Run(0)
+	env.s.Schedule(123, func() {})
+	env.s.Run(0)
+
+	if snap.Now() != wantNow || snap.Pending() != wantPend {
+		t.Fatalf("snapshot mutated by source activity: now=%v pending=%d, want %v/%d",
+			snap.Now(), snap.Pending(), wantNow, wantPend)
+	}
+	fresh := New()
+	fresh.Restore(snap)
+	env.s = fresh
+	env.trace = env.trace[:0]
+	fresh.Run(0)
+	if fresh.Now() < wantNow || len(env.trace) == 0 {
+		t.Fatalf("restored kernel did not resume: now=%v fired %d trace events",
+			fresh.Now(), len(env.trace))
+	}
+}
+
+// Restoring an empty-kernel snapshot (the warmup-image fork point) must
+// carry the clock and accounting and leave the queue empty.
+func TestSnapshotEmptyKernel(t *testing.T) {
+	s := New()
+	s.Schedule(1500, func() {})
+	s.Run(0)
+	snap := s.Snapshot()
+	if snap.Pending() != 0 {
+		t.Fatalf("pending = %d", snap.Pending())
+	}
+	fresh := New()
+	fresh.Restore(snap)
+	if fresh.Now() != 1500 || fresh.Pending() != 0 || fresh.Fired() != 1 {
+		t.Fatalf("restored: now=%v pending=%d fired=%d", fresh.Now(), fresh.Pending(), fresh.Fired())
+	}
+	// The restored kernel must be fully functional for new work.
+	ran := false
+	fresh.Schedule(10, func() { ran = true })
+	fresh.Run(0)
+	if !ran || fresh.Now() != 1510 {
+		t.Fatalf("restored kernel not runnable: ran=%v now=%v", ran, fresh.Now())
+	}
+}

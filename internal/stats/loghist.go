@@ -110,11 +110,16 @@ func (h *LogHist) MeanNS() float64 {
 	return float64(h.sum) / float64(h.n) / float64(sim.Nanosecond)
 }
 
-// Percentile reports the bucket upper bound below which frac of the
-// samples fall. frac must be in (0, 1]; an empty histogram reports 0.
-// Because every sample lands in a real bucket, tail percentiles are
-// resolved to the bucket's ~1 % width — never saturated at an overflow
-// boundary.
+// Percentile reports the value below or at which frac of the samples
+// fall. frac must be in (0, 1]; an empty histogram reports 0. Because
+// every sample lands in a real bucket, tail percentiles are resolved to
+// the bucket's ~1 % width — never saturated at an overflow boundary.
+//
+// For the exact one-tick sub-octave buckets the answer is the sample
+// value itself (the bucket's inclusive bound hi-1, not its exclusive
+// upper bound — a histogram of all-100-tick samples reports p99 = 100,
+// not 101). Wider buckets report their exclusive upper bound, clamped
+// to the largest recorded sample so no percentile ever exceeds Max().
 func (h *LogHist) Percentile(frac float64) sim.Tick {
 	if h.n == 0 {
 		return 0
@@ -128,6 +133,12 @@ func (h *LogHist) Percentile(frac float64) sim.Tick {
 		cum += c
 		if cum >= target {
 			_, hi := logBucketBounds(i)
+			if i < logHistSub {
+				hi-- // exact bucket: [v, v+1) holds only v
+			}
+			if hi > h.max {
+				hi = h.max
+			}
 			return sim.Tick(hi)
 		}
 	}

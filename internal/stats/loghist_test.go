@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"slices"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -64,6 +65,49 @@ func TestLogHistPercentile(t *testing.T) {
 	if mean := float64(h.Mean()); math.Abs(mean-500.5) > 1 {
 		t.Errorf("mean = %v", mean)
 	}
+}
+
+// The exact-bucket off-by-one fix: sub-octave buckets hold exactly one
+// tick value, so percentiles there must report the value itself, not the
+// bucket's exclusive upper bound; and no percentile may exceed Max().
+func TestLogHistPercentileExactBuckets(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []uint64
+		frac    float64
+		want    sim.Tick
+	}{
+		{"all-100 p99", repeatVal(100, 1000), 0.99, 100},
+		{"all-100 p100", repeatVal(100, 1000), 1.0, 100},
+		{"all-zero p50", repeatVal(0, 10), 0.50, 0},
+		{"single-1 p100", []uint64{1}, 1.0, 1},
+		{"exact-boundary 63", repeatVal(63, 5), 0.5, 63},
+		{"mixed exact bucket", []uint64{7, 7, 7, 1 << 20}, 0.5, 7},
+		// One sample in a wide bucket: the exclusive upper bound clamps
+		// to the sample (the histogram's max) instead of overshooting.
+		{"wide bucket clamps to max", []uint64{1000}, 1.0, 1000},
+		{"wide bucket tail clamps", append(repeatVal(10, 99), 100000), 1.0, 100000},
+	}
+	for _, c := range cases {
+		h := NewLogHist()
+		for _, v := range c.samples {
+			h.Add(v)
+		}
+		if got := h.Percentile(c.frac); got != c.want {
+			t.Errorf("%s: p%g = %v, want %v", c.name, c.frac*100, got, c.want)
+		}
+		if p := h.Percentile(1.0); p > h.Max() {
+			t.Errorf("%s: p100 = %v exceeds max %v", c.name, p, h.Max())
+		}
+	}
+}
+
+func repeatVal(v uint64, n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
 }
 
 // Percentiles must be monotone in frac even across octave boundaries.
@@ -137,6 +181,82 @@ func TestLogHistMerge(t *testing.T) {
 	}
 	if whole.String() != direct.String() {
 		t.Errorf("merge differs from direct:\n%s\n%s", whole, direct)
+	}
+}
+
+// testSplitMix is a tiny local PRNG so the property test is seeded and
+// deterministic (no global math/rand).
+type testSplitMix uint64
+
+func (s *testSplitMix) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Property test against a sorted-slice oracle: for random sample sets —
+// added directly or split across two histograms and merged — every
+// percentile must bracket the oracle's order statistic from above,
+// within one bucket width, exactly for sub-octave values, and never
+// above the recorded max.
+func TestLogHistPercentilePropertyOracle(t *testing.T) {
+	rng := testSplitMix(0x1234)
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	for round := 0; round < rounds; round++ {
+		n := 1 + int(rng.next()%400)
+		samples := make([]uint64, n)
+		a, b, merged := NewLogHist(), NewLogHist(), NewLogHist()
+		for i := range samples {
+			// Mix magnitudes: exact-bucket ticks, mid-range, and huge.
+			v := rng.next()
+			switch v % 3 {
+			case 0:
+				v = v % logHistSub
+			case 1:
+				v = v % 100000
+			default:
+				v = v % (1 << 40)
+			}
+			samples[i] = v
+			if i%2 == 0 {
+				a.Add(v)
+			} else {
+				b.Add(v)
+			}
+		}
+		merged.Merge(a)
+		merged.Merge(b)
+		sorted := append([]uint64(nil), samples...)
+		slices.Sort(sorted)
+		for _, frac := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1.0} {
+			rank := int(math.Ceil(frac*float64(n))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			oracle := sorted[rank]
+			got := uint64(merged.Percentile(frac))
+			if got < oracle {
+				t.Fatalf("round %d: p%g = %d below oracle %d", round, frac*100, got, oracle)
+			}
+			if got > sorted[n-1] {
+				t.Fatalf("round %d: p%g = %d above max sample %d", round, frac*100, got, sorted[n-1])
+			}
+			if oracle < logHistSub {
+				if got != oracle {
+					t.Fatalf("round %d: exact bucket p%g = %d, oracle %d", round, frac*100, got, oracle)
+				}
+			} else if width := oracle / logHistSub; got > oracle+width+1 {
+				t.Fatalf("round %d: p%g = %d overshoots oracle %d by more than a bucket", round, frac*100, got, oracle)
+			}
+		}
+		if uint64(merged.Max()) != sorted[n-1] || uint64(merged.Min()) != sorted[0] {
+			t.Fatalf("round %d: extrema %v/%v vs oracle %d/%d", round, merged.Min(), merged.Max(), sorted[0], sorted[n-1])
+		}
 	}
 }
 

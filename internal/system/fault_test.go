@@ -108,10 +108,13 @@ func TestFaultInjectedRunCompletes(t *testing.T) {
 // degrades (retired sets, bypassed demands) but still terminates.
 func TestFaultDegradedRunCompletes(t *testing.T) {
 	cfg := smallConfig(t, dramcache.TDRAM, "is.C")
+	// A small cache (few sets) keeps the odds high that the access stream
+	// re-touches a retired set, so the bypass path is reliably exercised.
+	cfg.Cache = dramcache.DefaultConfig(dramcache.TDRAM, 1<<20)
 	cfg.RequestsPerCore = 800
 	cfg.WarmupPerCore = 100
 	cfg.Cache.Fault = fault.Config{
-		Rate: 0.05, Seed: 11, UncorrectableFrac: 0.5, RetryBudget: 1, RetireThreshold: 1,
+		Rate: 0.1, Seed: 11, UncorrectableFrac: 0.5, RetryBudget: 1, RetireThreshold: 1,
 	}
 	cfg.Watchdog = 10 * sim.Millisecond
 	res, err := Run(cfg)

@@ -145,6 +145,10 @@ type System struct {
 	obs   *obs.Observer
 	wd    *sim.Watchdog
 	cores []*core
+
+	// prewarmed marks a system seeded from a WarmupImage: Run skips the
+	// prewarm pass because the installed state already reflects it.
+	prewarmed bool
 }
 
 // New builds the machine.
@@ -213,16 +217,9 @@ func New(cfg Config) (*System, error) {
 // prewarm pushes accesses through the SRAM hierarchy and cache content
 // functionally so the measured phase starts from steady state.
 func (sys *System) prewarm() {
-	n := sys.cfg.PrewarmPerCore
-	if n < 0 {
-		return
-	}
+	n := prewarmCount(&sys.cfg, sys.cores[0].stream)
 	if n == 0 {
-		// Cover the per-core footprint about twice.
-		n = int(2 * sys.cores[0].stream.Lines())
-		if n < 4096 {
-			n = 4096
-		}
+		return
 	}
 	for _, c := range sys.cores {
 		c.prewarming = true
@@ -337,7 +334,9 @@ func (sys *System) describeStall() string {
 // Run executes prewarm and warmup, then the measured phase, and collects
 // results.
 func (sys *System) Run() (*Result, error) {
-	sys.prewarm()
+	if !sys.prewarmed {
+		sys.prewarm()
+	}
 	if sys.cfg.WarmupPerCore > 0 {
 		if err := sys.phase(sys.cfg.WarmupPerCore); err != nil {
 			return nil, err
@@ -378,7 +377,38 @@ func (sys *System) Run() (*Result, error) {
 		res.Energy.Cache = cm.Render(runtime)
 	}
 	res.Energy.Main = mmM.Render(runtime)
+	if err := sys.drainResidual(); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// drainResidual empties the controller's background work after the
+// measured phase. Cores going idle ends a phase, but dirty victims can
+// still sit in the flush buffers waiting for an opportunistic drain that
+// will never come once demand traffic stops — with no demand events left
+// the kernel goes quiet and the entries strand (whether any remain at
+// the final request's completion depends on the workload stream, so a
+// stream change can surface it). The result snapshot is taken before
+// this runs: the measured window covers exactly RequestsPerCore accesses
+// either way, and the trailing write-back drain happens off the books,
+// as it does in a real machine.
+func (sys *System) drainResidual() error {
+	if sys.ctl.Pending() == 0 {
+		return nil
+	}
+	sys.ctl.DrainResidual()
+	for i := 0; i < 256 && sys.ctl.Pending() > 0; i++ {
+		sys.sim.Run(sys.sim.Now() + sim.NS(8000))
+		if sys.wd != nil && sys.wd.Tripped() {
+			return fmt.Errorf("system: residual drain aborted at %v: %s", sys.sim.Now(), sys.wd.Report())
+		}
+	}
+	if n := sys.ctl.Pending(); n > 0 {
+		return fmt.Errorf("system: %d transactions still pending after residual drain at %v: %s",
+			n, sys.sim.Now(), sys.ctl.DebugState())
+	}
+	return nil
 }
 
 // Run builds and runs a system in one call.

@@ -9,6 +9,7 @@ package workload
 
 import (
 	"fmt"
+	"math/bits"
 
 	"tdram/internal/mem"
 )
@@ -86,12 +87,26 @@ func (r *rng) next() uint64 {
 // float returns a uniform value in [0, 1).
 func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
 
-// intn returns a uniform value in [0, n).
+// intn returns a uniform value in [0, n) via Lemire's multiply-shift
+// rejection method. The previous r.next() % n carried the classic
+// modulo bias: for any n that does not divide 2^64, the low residues
+// are (slightly) more likely, which skews address distributions for
+// every non-power-of-two footprint. Here the 128-bit product x*n is
+// uniform over [0, n) in its high word once the low word clears the
+// rejection threshold (2^64 mod n); fewer than one draw in 2^20 is
+// rejected at the footprint sizes the workloads use.
 func (r *rng) intn(n uint64) uint64 {
 	if n == 0 {
 		return 0
 	}
-	return r.next() % n
+	hi, lo := bits.Mul64(r.next(), n)
+	if lo < n {
+		thresh := -n % n // (2^64 - n) mod n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.next(), n)
+		}
+	}
+	return hi
 }
 
 // Stream generates one core's line-address stream for a Spec. Each core
@@ -144,6 +159,18 @@ func (s Spec) NewStream(core, cores int, cacheBytes uint64, seed uint64) *Stream
 
 // Lines reports the per-core region length.
 func (st *Stream) Lines() uint64 { return st.lines }
+
+// Clone returns an independent deep copy of the stream: the copy draws
+// the exact same future address sequence as the original would, and
+// advancing either does not disturb the other. The warmup snapshot/fork
+// machinery clones one prewarmed stream per (workload, core) into every
+// design's forked run.
+func (st *Stream) Clone() *Stream {
+	c := *st
+	r := *st.rng
+	c.rng = &r
+	return &c
+}
 
 // Next returns the next line address, whether it is a store, and the
 // compute time (ns) the core spends before issuing it.
