@@ -23,10 +23,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -200,6 +202,12 @@ func run() error {
 	var m *tdram.Matrix
 	var sweepErr error
 	if needMatrix {
+		// Ctrl-C cancels the sweep between cells: in-flight cells finish,
+		// the rest fail with context.Canceled, and the completed part of
+		// the matrix still renders below instead of the pool silently
+		// running the whole sweep to the end.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
 		start := wallNow()
 		njobs := *jobs
 		if njobs <= 0 {
@@ -209,7 +217,7 @@ func run() error {
 			len(scale.Workloads), 7, scale.Name, njobs)
 		var err error
 		m, err = tdram.RunMatrixOpts(scale, tdram.MatrixOptions{
-			Jobs: *jobs, Progress: progress, ReplayWarmup: !*snapWarmup,
+			Jobs: *jobs, Progress: progress, ReplayWarmup: !*snapWarmup, Context: ctx,
 		})
 		if err != nil {
 			// Per-cell failures: render whatever completed, exit nonzero.

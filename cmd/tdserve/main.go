@@ -1,0 +1,208 @@
+// Command tdserve runs the fault-tolerant simulation service: an
+// HTTP/JSON API where a job is a canonicalized simulation configuration
+// served from a content-addressed result store, simulated at most once
+// per code version, and resumed from its per-cell checkpoint after a
+// crash or restart.
+//
+// Usage:
+//
+//	tdserve serve -addr :8344 -dir ./tdserve-store
+//	tdserve loadtest -url http://localhost:8344 -n 50 -c 4
+//
+// serve runs until SIGINT/SIGTERM, then shuts down gracefully: stop
+// accepting, cancel the running job at its next cell boundary (finished
+// cells are already checkpointed), flush, exit. loadtest submits the
+// same configuration repeatedly and reports wall-clock latency
+// percentiles — after the first miss fills the store, every request is
+// a cache hit and the p50 measures the service tier, not the simulator.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"tdram/internal/serve"
+	"tdram/internal/sim"
+	"tdram/internal/stats"
+)
+
+// wallNow and wallSince isolate the harness's legitimate wall-clock
+// reads — request latency measurement, never simulated time — behind
+// one annotated seam so the determinism analyzer covers the rest of the
+// command (the same pattern as tdbench).
+func wallNow() time.Time {
+	return time.Now() //tdlint:allow determinism — harness wall-clock timing, not simulated time
+}
+
+func wallSince(t time.Time) time.Duration {
+	return time.Since(t) //tdlint:allow determinism — harness wall-clock timing, not simulated time
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "loadtest":
+		err = runLoadtest(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tdserve: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  tdserve serve    [-addr :8344] [-dir DIR] [-queue N] [-sim-jobs N]
+                   [-deadline DUR] [-metrics DUR]
+  tdserve loadtest [-url URL] [-n N] [-c N] [-body JSON]
+`)
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8344", "listen address")
+	dir := fs.String("dir", "tdserve-store", "result store directory")
+	queue := fs.Int("queue", 8, "admission queue depth")
+	simJobs := fs.Int("sim-jobs", 0, "matrix workers per job (0 = GOMAXPROCS)")
+	deadline := fs.Duration("deadline", 10*time.Minute, "per-job deadline")
+	metrics := fs.Duration("metrics", 0, "sampler period of simulated time streamed to /jobs/{id}/events (0 = off)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget")
+	fs.Parse(args)
+
+	s, err := serve.NewServer(serve.Config{
+		Dir:             *dir,
+		QueueDepth:      *queue,
+		SimJobs:         *simJobs,
+		JobDeadline:     *deadline,
+		MetricsInterval: sim.NS(float64(metrics.Nanoseconds())),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tdserve: code version %s, store %s, listening on %s\n", s.Version(), *dir, *addr)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("tdserve: shutting down (checkpointing in-flight work)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop the listener first so no request lands after the server
+	// stops admitting, then drain the job worker within the budget.
+	httpErr := httpSrv.Shutdown(shutdownCtx)
+	if err := s.Close(shutdownCtx); err != nil {
+		return err
+	}
+	return httpErr
+}
+
+func runLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8344", "tdserve base URL")
+	n := fs.Int("n", 50, "total requests")
+	c := fs.Int("c", 4, "concurrent clients")
+	body := fs.String("body", `{"workloads":["bt.C"],"cache_mb":1,"requests_per_core":50,"warmup_per_core":10}`,
+		"request body (a serve.Request)")
+	fs.Parse(args)
+	if *n <= 0 || *c <= 0 {
+		return fmt.Errorf("loadtest: -n and -c must be positive")
+	}
+
+	payload := []byte(*body)
+	var (
+		mu     sync.Mutex
+		hist   = stats.NewLogHist()
+		hits   int
+		errs   int
+		firsts int
+	)
+	work := make(chan struct{}, *n)
+	for i := 0; i < *n; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+
+	var wg sync.WaitGroup
+	for i := 0; i < *c; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 15 * time.Minute}
+			for range work {
+				start := wallNow()
+				resp, err := client.Post(*url+"/jobs?wait=1", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				d := wallSince(start)
+				mu.Lock()
+				hist.AddTick(sim.Tick(d.Nanoseconds()) * sim.Nanosecond)
+				switch {
+				case resp.StatusCode != http.StatusOK:
+					errs++
+				case resp.Header.Get("Tdserve-Cache") == "hit":
+					hits++
+				default:
+					firsts++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("requests: %d  store hits: %d  simulated: %d  errors: %d\n",
+		*n, hits, firsts, errs)
+	if hist.N() > 0 {
+		fmt.Printf("latency: p50 %s  p90 %s  p99 %s  max %s\n",
+			fmtDur(hist.PercentileNS(0.50)), fmtDur(hist.PercentileNS(0.90)),
+			fmtDur(hist.PercentileNS(0.99)), fmtDur(hist.Max().Nanoseconds()))
+	}
+	if errs > 0 {
+		return fmt.Errorf("loadtest: %d request(s) failed", errs)
+	}
+	return nil
+}
+
+func fmtDur(ns float64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}

@@ -3,6 +3,7 @@
 package determ
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -124,4 +125,46 @@ func allowedAppend(m map[string]int) []string {
 		ks = append(ks, k) //tdlint:allow determinism — consumer treats the result as an unordered set
 	}
 	return ks
+}
+
+// --- service-layer shapes: content addressing and result documents ---
+
+// A content address derived by feeding map entries to the hash input in
+// iteration order changes between runs: the same request would hash to
+// a different store key each time, turning every lookup into a miss.
+func contentAddress(params map[string]string) []byte {
+	var b bytes.Buffer
+	for k, v := range params {
+		b.WriteString(k) // want `map iteration feeds a bytes\.Buffer`
+		b.WriteString(v) // want `map iteration feeds a bytes\.Buffer`
+	}
+	return b.Bytes()
+}
+
+// The canonical form: collect and sort the keys, then feed the hash
+// input in that fixed order. Iteration order never reaches the bytes.
+func canonicalAddress(params map[string]string) []byte {
+	ks := make([]string, 0, len(params))
+	for k := range params {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	var b bytes.Buffer
+	for _, k := range ks {
+		b.WriteString(k)
+		b.WriteString(params[k])
+	}
+	return b.Bytes()
+}
+
+// A checkpoint's per-cell map flattened into a result document follows
+// the sorted-keys idiom — append inside the range, sort after — so the
+// stored document is byte-identical across runs. Must not be flagged.
+func flattenCells(cells map[string]float64) []string {
+	rows := make([]string, 0, len(cells))
+	for key := range cells {
+		rows = append(rows, key)
+	}
+	sort.Strings(rows)
+	return rows
 }

@@ -206,3 +206,38 @@ func wire(o *obs.Observer) { o.Inc("setup") }
 func (c *ctl) allowedCold() {
 	c.obs.Inc("cold") //tdlint:allow hookguard — one-time setup, Observer methods are nil-safe
 }
+
+// --- service-layer shapes: streaming-progress callbacks ---
+
+// A job-service options struct carries optional streaming callbacks;
+// like the memory buses' OnX fields they are nil when streaming is off,
+// so every invocation must be guarded.
+type serveHooks struct {
+	OnSample func(tick int64, values []float64)
+	OnCell   func(key string)
+}
+
+type jobRunner struct{ hooks *serveHooks }
+
+func (j *jobRunner) guardedSample(t int64, vs []float64) {
+	if j.hooks.OnSample != nil {
+		j.hooks.OnSample(t, vs)
+	}
+}
+
+func (j *jobRunner) guardedCellAlias(key string) {
+	cb := j.hooks.OnCell
+	if cb == nil {
+		return
+	}
+	cb(key)
+}
+
+func (j *jobRunner) unguardedSample(t int64, vs []float64) {
+	j.hooks.OnSample(t, vs) // want `hook callback j\.hooks\.OnSample invoked without a dominating nil check`
+}
+
+func (j *jobRunner) unguardedCellAlias(key string) {
+	cb := j.hooks.OnCell
+	cb(key) // want `hook callback cb invoked without a dominating nil check`
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -35,6 +36,30 @@ type MatrixOptions struct {
 	// an image cannot seed fall back to replay individually; each progress
 	// line reports which path ran as warmup=fork or warmup=replay.
 	ReplayWarmup bool
+
+	// Context, when non-nil, cancels the sweep between cells: once it is
+	// done, no further cell starts simulating — each remaining cell fails
+	// immediately with a CellError wrapping ctx.Err() — and RunMatrixOpts
+	// returns the partial Matrix of the cells that completed before the
+	// cancellation. A cell already simulating finishes (cells are the
+	// cancellation granularity), so the longest wait after a cancel is
+	// one cell, not the rest of the sweep. A nil Context never cancels.
+	Context context.Context
+
+	// Filter, when non-nil, restricts the sweep to the cells for which it
+	// returns true. Skipped cells are not simulated, appear in neither
+	// the Matrix nor the progress stream, and produce no error — they are
+	// simply not part of this run. tdserve's checkpoint-restart resumes a
+	// half-finished job by filtering out the cells its checkpoint already
+	// holds.
+	Filter func(Key) bool
+
+	// OnCell, when non-nil, receives every run cell as it is drained:
+	// exactly one call per cell, in the same deterministic workload-major
+	// sweep order as Progress, from the caller's goroutine. Failed cells
+	// are delivered with a nil Result and the *CellError; completed cells
+	// with err == nil. tdserve checkpoints from this hook.
+	OnCell func(Key, *system.Result, error)
 }
 
 // CellError records the failure of one (design, workload) cell of a
@@ -118,19 +143,23 @@ func (is *imageSet) get(wi int) *system.WarmupImage {
 	return is.imgs[wi]
 }
 
-// cell is one (workload, design) coordinate in sweep order.
+// cell is one (workload, design) coordinate in sweep order. wlIndex is
+// the workload's position in Scale.Workloads — the warmup-image slot —
+// carried explicitly so a Filter-trimmed cell list still forks every
+// cell from the right image.
 type cell struct {
-	wl workload.Spec
-	d  dramcache.Design
+	wl      workload.Spec
+	d       dramcache.Design
+	wlIndex int
 }
 
 // sweepCells enumerates the matrix in the canonical workload-major order
 // every progress stream and failure report uses.
 func sweepCells(sc Scale) []cell {
 	var cells []cell
-	for _, wl := range sc.Workloads {
+	for wi, wl := range sc.Workloads {
 		for _, d := range MatrixDesigns() {
-			cells = append(cells, cell{wl, d})
+			cells = append(cells, cell{wl, d, wi})
 		}
 	}
 	return cells
@@ -143,6 +172,19 @@ func sweepCells(sc Scale) []cell {
 // failure. The Matrix is always non-nil.
 func RunMatrixOpts(sc Scale, opts MatrixOptions) (*Matrix, error) {
 	cells := sweepCells(sc)
+	if opts.Filter != nil {
+		kept := cells[:0:0]
+		for _, c := range cells {
+			if opts.Filter(Key{c.d, c.wl.Name}) {
+				kept = append(kept, c)
+			}
+		}
+		cells = kept
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	jobs := opts.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -166,7 +208,6 @@ func RunMatrixOpts(sc Scale, opts MatrixOptions) (*Matrix, error) {
 	if !opts.ReplayWarmup {
 		images = newImageSet(sc)
 	}
-	designs := len(MatrixDesigns())
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
@@ -175,9 +216,17 @@ func RunMatrixOpts(sc Scale, opts MatrixOptions) (*Matrix, error) {
 			defer wg.Done()
 			for i := range next {
 				c := cells[i]
+				if err := ctx.Err(); err != nil {
+					// Cancelled between cells: fail the remaining cells
+					// without simulating them. Cells already past this
+					// check run to completion.
+					errs[i] = &CellError{Design: c.d, Workload: c.wl.Name, Err: err}
+					close(done[i])
+					continue
+				}
 				var img *system.WarmupImage
 				if images != nil {
-					img = images.get(i / designs) // cells are workload-major
+					img = images.get(c.wlIndex)
 				}
 				res, fk, err := runCellSafe(sc.Config(c.d, c.wl), img)
 				if err != nil {
@@ -200,6 +249,9 @@ func RunMatrixOpts(sc Scale, opts MatrixOptions) (*Matrix, error) {
 	var cellErrs []error
 	for i, c := range cells {
 		<-done[i]
+		if opts.OnCell != nil {
+			opts.OnCell(Key{c.d, c.wl.Name}, results[i], errs[i])
+		}
 		if err := errs[i]; err != nil {
 			cellErrs = append(cellErrs, err)
 			if opts.Progress != nil {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -168,6 +170,135 @@ func TestMatrixAllCellsFail(t *testing.T) {
 	}
 	if got := m.geoOver(func(string) float64 { t.Error("geoOver visited a workload"); return 1 }); got != 0 {
 		t.Errorf("geoOver over empty matrix = %v, want 0", got)
+	}
+}
+
+// TestMatrixCancelMidSweep cancels the sweep's context partway through
+// and asserts the contract tdserve's deadlines (and tdbench's Ctrl-C)
+// rely on: cells that started before the cancellation complete and land
+// in the partial Matrix, every remaining cell fails immediately with a
+// CellError wrapping ctx.Err(), and the joined error reports the
+// cancellation via errors.Is.
+func TestMatrixCancelMidSweep(t *testing.T) {
+	sc := Quick()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const jobs = 2
+	var mu sync.Mutex
+	started := 0
+	fakeRunCell(t, func(cfg system.Config) (*system.Result, error) {
+		mu.Lock()
+		started++
+		if started == 3 {
+			cancel()
+		}
+		mu.Unlock()
+		return fakeResult(cfg), nil
+	})
+
+	var cellErrs []error
+	m, err := RunMatrixOpts(sc, MatrixOptions{
+		Jobs:    jobs,
+		Context: ctx,
+		OnCell: func(k Key, res *system.Result, err error) {
+			if err != nil {
+				cellErrs = append(cellErrs, err)
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("no error from a cancelled sweep")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("joined error does not report context.Canceled: %v", err)
+	}
+	total := len(sc.Workloads) * len(MatrixDesigns())
+	// The cancelling cell and any cell already past the ctx check finish;
+	// nothing else starts. With 2 workers at most one extra cell was in
+	// flight alongside the cancelling one.
+	if len(m.Results) < 3 || len(m.Results) > 3+jobs {
+		t.Errorf("completed cells = %d, want 3..%d", len(m.Results), 3+jobs)
+	}
+	if len(m.Results) == total {
+		t.Error("every cell completed despite the cancellation")
+	}
+	mu.Lock()
+	ran := started
+	mu.Unlock()
+	if ran != len(m.Results) {
+		t.Errorf("simulated %d cells but matrix holds %d", ran, len(m.Results))
+	}
+	// Every missing cell's failure is the cancellation, not a real error.
+	if len(cellErrs) != total-len(m.Results) {
+		t.Errorf("failed cells = %d, want %d", len(cellErrs), total-len(m.Results))
+	}
+	for _, e := range cellErrs {
+		var cerr *CellError
+		if !errors.As(e, &cerr) {
+			t.Fatalf("cell failure %T does not unwrap to *CellError: %v", e, e)
+		}
+		if !errors.Is(cerr.Err, context.Canceled) {
+			t.Errorf("cell %s/%v failed with %v, want context.Canceled", cerr.Workload, cerr.Design, cerr.Err)
+		}
+	}
+	if got := len(m.MissingCells()); got != total-len(m.Results) {
+		t.Errorf("missing cells = %d, want %d", got, total-len(m.Results))
+	}
+}
+
+// TestMatrixFilterAndOnCell asserts Filter restricts the sweep to the
+// selected cells (no simulation, no progress, no error for the rest) and
+// OnCell delivers exactly the run cells in deterministic sweep order —
+// the two hooks tdserve's checkpoint-restart is built on.
+func TestMatrixFilterAndOnCell(t *testing.T) {
+	sc := Quick()
+	var mu sync.Mutex
+	simulated := map[Key]int{}
+	fakeRunCell(t, func(cfg system.Config) (*system.Result, error) {
+		mu.Lock()
+		simulated[Key{cfg.Cache.Design, cfg.Workload.Name}]++
+		mu.Unlock()
+		return fakeResult(cfg), nil
+	})
+
+	keep := func(k Key) bool { return k.Design == dramcache.TDRAM || k.Workload == sc.Workloads[0].Name }
+	var onCell []Key
+	var progress []string
+	m, err := RunMatrixOpts(sc, MatrixOptions{
+		Jobs:     4,
+		Filter:   keep,
+		OnCell:   func(k Key, res *system.Result, err error) { onCell = append(onCell, k) },
+		Progress: func(s string) { progress = append(progress, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want []Key
+	for _, c := range sweepCells(sc) {
+		if keep(Key{c.d, c.wl.Name}) {
+			want = append(want, Key{c.d, c.wl.Name})
+		}
+	}
+	if len(m.Results) != len(want) {
+		t.Errorf("matrix cells = %d, want %d", len(m.Results), len(want))
+	}
+	if !reflect.DeepEqual(onCell, want) {
+		t.Errorf("OnCell order:\n got %v\nwant %v", onCell, want)
+	}
+	if len(progress) != len(want) {
+		t.Errorf("progress lines = %d, want %d", len(progress), len(want))
+	}
+	for k, n := range simulated {
+		if !keep(k) {
+			t.Errorf("filtered-out cell %s/%v was simulated", k.Workload, k.Design)
+		}
+		if n != 1 {
+			t.Errorf("cell %s/%v simulated %d times", k.Workload, k.Design, n)
+		}
+	}
+	if len(simulated) != len(want) {
+		t.Errorf("simulated %d cells, want %d", len(simulated), len(want))
 	}
 }
 

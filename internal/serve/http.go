@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxRequestBytes bounds a submission body; a service that decodes
+// unbounded client JSON is one curl away from OOM.
+const maxRequestBytes = 1 << 20
+
+// Handler builds the HTTP API:
+//
+//	POST /jobs              submit a configuration (202, or 200 on a store hit)
+//	GET  /jobs/{id}         job status
+//	GET  /jobs/{id}/result  the result document (200 done, 202 pending, 409 failed)
+//	GET  /jobs/{id}/events  server-sent progress events
+//	GET  /healthz           liveness + code version + queue occupancy
+//
+// POST /jobs?wait=1 blocks until the job reaches a terminal state and
+// responds like GET .../result — the one-call mode loadtest and the CI
+// smoke test use.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// submitAck is the 202 body for an admitted (or joined) job.
+type submitAck struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Cells     int    `json:"cells"`
+	StatusURL string `json:"status_url"`
+	ResultURL string `json:"result_url"`
+	EventsURL string `json:"events_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if err := req.Canonicalize(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id := req.ID()
+
+	// The fast path the whole design exists for: a known configuration
+	// is served from the store verbatim, without touching a simulator.
+	if payload, ok := s.store.GetResult(id); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Tdserve-Cache", "hit")
+		w.Write(payload)
+		return
+	}
+
+	j, err := s.Admit(id, req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Explicit backpressure: bounded memory, and the client knows
+		// when to come back rather than hammering.
+		w.Header().Set("Retry-After", "2")
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	if r.URL.Query().Get("wait") != "" {
+		s.waitAndServeResult(w, r, j)
+		return
+	}
+	w.Header().Set("Tdserve-Cache", "miss")
+	writeJSON(w, http.StatusAccepted, submitAck{
+		ID: id, State: j.Status().State, Cells: j.Status().Total,
+		StatusURL: "/jobs/" + id,
+		ResultURL: "/jobs/" + id + "/result",
+		EventsURL: "/jobs/" + id + "/events",
+	})
+}
+
+// waitAndServeResult blocks on the job's event stream until a terminal
+// state, then responds exactly like GET /jobs/{id}/result.
+func (s *Server) waitAndServeResult(w http.ResponseWriter, r *http.Request, j *Job) {
+	ch, cancel := j.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return // client gave up; the job keeps running
+		case ev, ok := <-ch:
+			if !ok {
+				s.serveResult(w, j.id)
+				return
+			}
+			if ev.Type == "state" &&
+				(ev.State == StateDone || ev.State == StateFailed || ev.State == StateInterrupted) {
+				s.serveResult(w, j.id)
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if j, ok := s.Job(id); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+		return
+	}
+	// The process restarted since this job ran; the store remembers.
+	if _, ok := s.store.GetResult(id); ok {
+		writeJSON(w, http.StatusOK, Status{ID: id, State: StateDone})
+		return
+	}
+	httpError(w, http.StatusNotFound, "unknown job "+id)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.serveResult(w, r.PathValue("id"))
+}
+
+func (s *Server) serveResult(w http.ResponseWriter, id string) {
+	if payload, ok := s.store.GetResult(id); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(payload)
+		return
+	}
+	j, ok := s.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case StateFailed:
+		writeJSON(w, http.StatusConflict, st)
+	case StateDone:
+		// Done but the store read missed: the entry was corrupted after
+		// the fact. Per the store contract that is a miss, not a 500 —
+		// report the job as gone so the client re-submits (determinism
+		// guarantees the re-run reproduces the same document).
+		httpError(w, http.StatusNotFound, "result for "+id+" is no longer readable; re-submit")
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, cancel := j.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":           true,
+		"code_version": s.version,
+		"queue_len":    s.QueueLen(),
+		"queue_depth":  s.QueueDepth(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"tdram/internal/experiments"
+	"tdram/internal/obs"
+	"tdram/internal/sim"
+	"tdram/internal/system"
+)
+
+// Config configures a Server. The zero value of every field selects a
+// default.
+type Config struct {
+	// Dir roots the persistent store (required).
+	Dir string
+
+	// QueueDepth bounds the admission queue (default 8). A full queue
+	// rejects with ErrQueueFull — 429 at the HTTP tier — so load spikes
+	// cost clients a retry, never the server its memory. Admitted jobs
+	// are checkpointed before they are acknowledged, so "accepted" can
+	// never degrade to "silently dropped".
+	QueueDepth int
+
+	// SimJobs bounds the matrix parallelism inside one job (default
+	// runtime.GOMAXPROCS(0), the runner's own default).
+	SimJobs int
+
+	// JobDeadline bounds one job's wall-clock run (default 10 minutes).
+	// The deadline cancels the matrix sweep between cells; the job fails
+	// with an explicit deadline error instead of pinning a worker.
+	JobDeadline time.Duration
+
+	// MetricsInterval, when positive, arms the internal/obs sampler in
+	// every cell and streams its rows to the job's event subscribers
+	// (simulated time, not wall time). Purely observational: results are
+	// bit-identical with streaming on or off, which is why it lives here
+	// and not in the content-addressed Request.
+	MetricsInterval sim.Tick
+
+	// Version overrides the code-version namespace (tests). Empty
+	// selects CodeVersion(), the running executable's hash.
+	Version string
+}
+
+// runMatrix is the sweep entry point; tests replace it to hold the
+// worker on a job deterministically (the same seam idiom as the
+// runner's own runCell/buildImage).
+var runMatrix = experiments.RunMatrixOpts
+
+// Sentinel admission errors; the HTTP tier maps them to 429 and 503.
+var (
+	ErrQueueFull = errors.New("serve: admission queue is full")
+	ErrClosed    = errors.New("serve: server is shutting down")
+)
+
+// Server owns the job queue, the worker, and the persistent store. See
+// the package comment for the robustness contract.
+type Server struct {
+	cfg     Config
+	store   *Store
+	version string
+
+	ctx    context.Context // cancelled by Close; parents every job context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	closed bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+// NewServer opens the store, recovers every checkpointed job from a
+// previous process into the queue, and starts the worker. Recovery is
+// what makes SIGKILL survivable: each recovered job resumes from its
+// completed cells, not from tick 0, and a job whose result already
+// landed (killed between the result write and the checkpoint delete)
+// completes instantly.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.JobDeadline <= 0 {
+		cfg.JobDeadline = 10 * time.Minute
+	}
+	version := cfg.Version
+	if version == "" {
+		version = CodeVersion()
+	}
+	store, err := OpenStore(cfg.Dir, version)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, store: store, version: version, jobs: make(map[string]*Job)}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+
+	recovered := s.recover()
+	// Size the queue so every recovered job enqueues without blocking,
+	// on top of the configured admission depth for new work.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(recovered))
+	for _, j := range recovered {
+		s.jobs[j.id] = j
+		s.queue <- j
+	}
+	s.wg.Add(1)
+	go s.worker()
+	return s, nil
+}
+
+// recover scans the store for checkpoints left by a previous process
+// and rebuilds their jobs. A corrupt or foreign checkpoint is skipped —
+// its job's identity is unrecoverable, so the client re-submits (and,
+// per the determinism contract, gets the same result it would have).
+func (s *Server) recover() []*Job {
+	var jobs []*Job
+	for _, id := range s.store.Checkpoints() {
+		payload, ok := s.store.GetCheckpoint(id)
+		if !ok {
+			continue // corrupt: treated exactly like no checkpoint
+		}
+		ck, err := loadCheckpoint(payload)
+		if err != nil || ck.Request.ID() != id {
+			continue // foreign or tampered entry
+		}
+		if _, done := s.store.GetResult(id); done {
+			// Killed after the result landed but before the checkpoint
+			// delete; finish the bookkeeping now.
+			s.store.DeleteCheckpoint(id)
+			continue
+		}
+		j := newJob(id, ck.Request)
+		j.done = len(ck.Cells)
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// Version reports the code-version namespace the server stores under.
+func (s *Server) Version() string { return s.version }
+
+// Store exposes the result store (the HTTP tier serves hits from it).
+func (s *Server) Store() *Store { return s.store }
+
+// QueueDepth reports the configured admission bound.
+func (s *Server) QueueDepth() int { return s.cfg.QueueDepth }
+
+// QueueLen reports how many jobs are waiting (diagnostics).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Job looks up an admitted job by content address.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Admit enqueues a canonicalized request under its content address.
+// Submitting a configuration that is already queued or running joins
+// the existing job instead of duplicating the work — content addressing
+// dedupes in flight, not just at rest. Returns ErrQueueFull when the
+// bounded queue is at capacity and ErrClosed during shutdown.
+func (s *Server) Admit(id string, req Request) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if j, ok := s.jobs[id]; ok {
+		switch j.Status().State {
+		case StateQueued, StateRunning:
+			// Content addressing dedupes in flight: join, don't duplicate.
+			return j, nil
+		}
+		// Terminal record. The HTTP tier only reaches Admit after a store
+		// miss, so a "done" job here means its stored result has since
+		// been lost or corrupted — re-admit and re-simulate (determinism
+		// reproduces the same bytes). Failed jobs may be retried too.
+	}
+	// Durable-before-acknowledged: the empty checkpoint makes a
+	// queued-but-unstarted job survive a crash. Skip the write when a
+	// previous incarnation already checkpointed progress for this id.
+	_, hadCheckpoint := s.store.GetCheckpoint(id)
+	if !hadCheckpoint {
+		ck := &Checkpoint{Request: req, Cells: make(map[string]CellResult)}
+		if err := s.store.PutCheckpoint(id, ck.marshal()); err != nil {
+			return nil, err
+		}
+	}
+	j := newJob(id, req)
+	select {
+	case s.queue <- j:
+	default:
+		// Rejected is the opposite of accepted: leave no trace a future
+		// recovery would mistake for an admitted job.
+		if !hadCheckpoint {
+			s.store.DeleteCheckpoint(id)
+		}
+		return nil, ErrQueueFull
+	}
+	s.jobs[id] = j
+	return j, nil
+}
+
+// worker drains the queue one job at a time (each job parallelizes
+// internally across matrix cells). It exits when Close cancels the
+// server context; queued jobs stay checkpointed for the next process.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			s.runJobSupervised(j)
+		}
+	}
+}
+
+// runJobSupervised is the supervisor boundary: a panicking job —
+// whether from a simulation bug the runner's own recovery missed or
+// from the serve layer itself — becomes a failed-job state with the
+// stack attached, and the worker survives to run the next job.
+func (s *Server) runJobSupervised(j *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.store.DeleteCheckpoint(j.id)
+			j.fail(fmt.Sprintf("worker panic: %v", r), string(debug.Stack()))
+		}
+	}()
+	s.runJob(j)
+}
+
+func (s *Server) runJob(j *Job) {
+	// A previous incarnation may have finished this configuration
+	// already; serving it beats re-simulating it.
+	if _, ok := s.store.GetResult(j.id); ok {
+		s.store.DeleteCheckpoint(j.id)
+		j.setState(StateDone)
+		return
+	}
+
+	ck := &Checkpoint{Request: j.req, Cells: make(map[string]CellResult)}
+	if payload, ok := s.store.GetCheckpoint(j.id); ok {
+		if loaded, err := loadCheckpoint(payload); err == nil {
+			ck = loaded // resume: completed cells are skipped below
+		}
+	}
+	j.setDone(len(ck.Cells))
+	j.setState(StateRunning)
+
+	ctx, cancel := context.WithTimeout(s.ctx, s.cfg.JobDeadline)
+	defer cancel()
+
+	sc := j.req.Scale()
+	if s.cfg.MetricsInterval > 0 {
+		sc.Obs = obs.Config{
+			MetricsInterval: s.cfg.MetricsInterval,
+			OnSample: func(t sim.Tick, names []string, values []float64) {
+				// The sampler reuses its slices; copy before they escape
+				// to subscriber channels.
+				j.publish(Event{
+					Type:   "sample",
+					TimeNS: t.Nanoseconds(),
+					Names:  append([]string(nil), names...),
+					Values: append([]float64(nil), values...),
+				})
+			},
+		}
+	}
+
+	opts := experiments.MatrixOptions{
+		Jobs:    s.cfg.SimJobs,
+		Context: ctx,
+		Filter: func(k experiments.Key) bool {
+			_, done := ck.Cells[cellKey(k)]
+			return !done
+		},
+		OnCell: func(k experiments.Key, res *system.Result, err error) {
+			if err != nil {
+				return // cancellation or a cell failure; classified after the sweep
+			}
+			ck.Cells[cellKey(k)] = cellResultFrom(k, res)
+			// Per-cell durability: a SIGKILL from here on loses at most
+			// the cell currently in flight. A failed write degrades the
+			// checkpoint, not the job — ck still holds the cell in
+			// memory, so an uninterrupted run completes normally.
+			_ = s.store.PutCheckpoint(j.id, ck.marshal())
+			j.cellDone(cellKey(k), len(ck.Cells))
+		},
+	}
+	_, runErr := runMatrix(sc, opts)
+
+	if len(ck.Cells) == j.total {
+		doc, err := buildDoc(j.id, s.version, ck)
+		if err != nil {
+			s.store.DeleteCheckpoint(j.id)
+			j.fail(err.Error(), "")
+			return
+		}
+		if err := s.store.PutResult(j.id, doc); err != nil {
+			j.fail(err.Error(), "")
+			return
+		}
+		s.store.DeleteCheckpoint(j.id)
+		j.setState(StateDone)
+		return
+	}
+
+	if runErr == nil {
+		// Impossible by the runner contract (every non-filtered cell
+		// either lands in OnCell or errors), but fail loudly over
+		// pretending completeness.
+		s.store.DeleteCheckpoint(j.id)
+		j.fail("incomplete matrix without error", "")
+		return
+	}
+	if s.ctx.Err() != nil {
+		// Shutdown cancelled the sweep between cells. The checkpoint
+		// holds every finished cell; the next process resumes it.
+		j.setState(StateInterrupted)
+		return
+	}
+	var trip *sim.TripError
+	diagnostics := ""
+	if errors.As(runErr, &trip) {
+		diagnostics = trip.Diagnostics
+	}
+	s.store.DeleteCheckpoint(j.id)
+	if errors.Is(runErr, context.DeadlineExceeded) {
+		j.fail(fmt.Sprintf("deadline exceeded after %d/%d cells (limit %v)",
+			len(ck.Cells), j.total, s.cfg.JobDeadline), "")
+		return
+	}
+	j.fail(runErr.Error(), diagnostics)
+}
+
+// Close stops admission, cancels the running job at its next cell
+// boundary (its finished cells are already checkpointed), and waits for
+// the worker to exit — bounded by ctx. Queued and interrupted jobs stay
+// on disk for the next process; nothing in flight is lost.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown did not drain in time: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is the persistent result store: one directory per code version,
+// one checksummed file per entry. Every write is crash-safe — payload to
+// a temp file, fsync, atomic rename into place, fsync the directory —
+// so a SIGKILL at any instant leaves either the old entry, the new
+// entry, or a stray temp file, never a half-written entry under a live
+// name. Reads verify the embedded SHA-256: a corrupt or truncated entry
+// (torn disk, operator accident) is indistinguishable from a miss to
+// callers, so the job simply re-simulates; corruption is never a 500.
+type Store struct {
+	dir string // <root>/v-<codeversion>
+}
+
+// storeMagic versions the on-disk entry framing.
+const storeMagic = "tdstore1"
+
+// OpenStore opens (creating if needed) the store rooted at dir for the
+// given code version.
+func OpenStore(dir, version string) (*Store, error) {
+	vdir := filepath.Join(dir, "v-"+version)
+	if err := os.MkdirAll(vdir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store: %w", err)
+	}
+	return &Store{dir: vdir}, nil
+}
+
+// Dir reports the store's version directory (diagnostics, tests).
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) resultPath(id string) string     { return filepath.Join(s.dir, id+".res") }
+func (s *Store) checkpointPath(id string) string { return filepath.Join(s.dir, id+".ckpt") }
+
+// GetResult returns the stored result payload for id, or ok=false on a
+// miss — including the corrupt-entry case.
+func (s *Store) GetResult(id string) (payload []byte, ok bool) {
+	return readVerified(s.resultPath(id))
+}
+
+// PutResult persists a result payload crash-safely.
+func (s *Store) PutResult(id string, payload []byte) error {
+	return writeVerified(s.resultPath(id), payload)
+}
+
+// GetCheckpoint returns the stored checkpoint payload for id, or
+// ok=false when there is none (or it is corrupt: a bad checkpoint
+// degrades to restarting the job from tick 0, exactly like no
+// checkpoint at all).
+func (s *Store) GetCheckpoint(id string) (payload []byte, ok bool) {
+	return readVerified(s.checkpointPath(id))
+}
+
+// PutCheckpoint persists a job checkpoint crash-safely.
+func (s *Store) PutCheckpoint(id string, payload []byte) error {
+	return writeVerified(s.checkpointPath(id), payload)
+}
+
+// DeleteCheckpoint removes id's checkpoint (after its result landed).
+func (s *Store) DeleteCheckpoint(id string) {
+	os.Remove(s.checkpointPath(id))
+}
+
+// Checkpoints lists the job IDs with a checkpoint on disk, sorted — the
+// jobs a restarted server must resume.
+func (s *Store) Checkpoints() []string {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.ckpt"))
+	if err != nil {
+		return nil
+	}
+	ids := make([]string, 0, len(names))
+	for _, n := range names {
+		ids = append(ids, strings.TrimSuffix(filepath.Base(n), ".ckpt"))
+	}
+	// Glob sorts, but do not depend on it: restart order feeds the queue.
+	sortStrings(ids)
+	return ids
+}
+
+// readVerified reads a framed entry and verifies its checksum and
+// length. Any mismatch — truncation, corruption, a foreign file — is
+// reported as a miss.
+func readVerified(path string) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	nl := strings.IndexByte(string(data), '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	var magic, sumHex string
+	var n int
+	if _, err := fmt.Sscanf(string(data[:nl]), "%s %s %d", &magic, &sumHex, &n); err != nil || magic != storeMagic {
+		return nil, false
+	}
+	payload := data[nl+1:]
+	if len(payload) != n {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != sumHex {
+		return nil, false
+	}
+	return payload, true
+}
+
+// writeVerified writes a framed entry crash-safely: temp file in the
+// same directory, fsync, rename over the final name, fsync the
+// directory so the rename itself is durable.
+func writeVerified(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: store write: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s %d\n", storeMagic, hex.EncodeToString(sum[:]), len(payload))
+	if _, err := tmp.WriteString(header); err == nil {
+		_, err = tmp.Write(payload)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: store write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: store sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: store close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serve: store rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// sortStrings is sort.Strings without dragging sort into every file.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

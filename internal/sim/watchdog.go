@@ -56,6 +56,30 @@ type watchdogDump struct {
 	fn   func() string
 }
 
+// TripError is the structured result of a watchdog trip. Error() is the
+// one-line reason; the full multi-line Report() text rides along in
+// Diagnostics so a programmatic consumer (a service failing a job, a
+// harness filing a structured failure) can log the reason cheaply and
+// attach the dump where it belongs instead of every caller printing the
+// whole machine state to stderr. Recover it from a run's error chain
+// with errors.As.
+type TripError struct {
+	Reason      string // the one-line trip reason
+	Diagnostics string // the full Report() dump at trip observation time
+}
+
+func (e *TripError) Error() string { return "watchdog tripped: " + e.Reason }
+
+// Err returns nil while the watchdog has not tripped, and a *TripError
+// carrying the trip reason plus the current Report() diagnostics once it
+// has. Nil-receiver safe, like every Watchdog method.
+func (w *Watchdog) Err() error {
+	if w == nil || !w.tripped {
+		return nil
+	}
+	return &TripError{Reason: w.reason, Diagnostics: w.Report()}
+}
+
 // defaultEventBudget bounds events between retires. Real configurations
 // fire at most a few thousand events per retirement; a runaway same-tick
 // loop crosses this in well under a second of wall time.

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"errors"
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -196,5 +199,80 @@ func TestWatchdogDeterminism(t *testing.T) {
 	if armedEnd != plainEnd || armedN != plainN {
 		t.Errorf("armed run (%v, %d events) differs from plain run (%v, %d events)",
 			armedEnd, armedN, plainEnd, plainN)
+	}
+}
+
+// TestWatchdogErrStructured: a trip is recoverable as a *TripError whose
+// Reason is the one-line diagnosis and whose Diagnostics carry the full
+// Report() dump, and an untripped (or nil) watchdog's Err() is nil — the
+// programmatic trip result a service job consumes.
+func TestWatchdogErrStructured(t *testing.T) {
+	var nilWd *Watchdog
+	if err := nilWd.Err(); err != nil {
+		t.Errorf("nil watchdog Err() = %v", err)
+	}
+
+	s := New()
+	w := NewWatchdog(s, 100*Nanosecond)
+	if err := w.Err(); err != nil {
+		t.Errorf("untripped Err() = %v", err)
+	}
+	var spin func()
+	spin = func() { s.Schedule(Nanosecond, spin) }
+	s.Schedule(0, spin)
+	s.Run(Millisecond)
+	if !w.Tripped() {
+		t.Fatal("spin did not trip the watchdog")
+	}
+	err := w.Err()
+	var trip *TripError
+	if !errors.As(err, &trip) {
+		t.Fatalf("Err() = %T, want *TripError", err)
+	}
+	if !strings.Contains(trip.Reason, "no request retired within") {
+		t.Errorf("Reason = %q", trip.Reason)
+	}
+	if strings.Contains(trip.Error(), "\n") {
+		t.Errorf("Error() is not one line: %q", trip.Error())
+	}
+	if !strings.Contains(trip.Diagnostics, "kernel:") || !strings.Contains(trip.Diagnostics, trip.Reason) {
+		t.Errorf("Diagnostics lack the kernel dump or reason:\n%s", trip.Diagnostics)
+	}
+}
+
+// TestWatchdogTripHandlerNoStderr: with a trip handler installed the
+// trip path is fully programmatic — nothing in the kernel writes to
+// stderr; the handler and the structured Err() are the only outputs. A
+// service that installs a handler therefore fails the job cleanly with
+// no diagnostic spray from library code.
+func TestWatchdogTripHandlerNoStderr(t *testing.T) {
+	old := os.Stderr
+	r, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = pw
+	defer func() { os.Stderr = old }()
+
+	s := New()
+	w := NewWatchdog(s, 100*Nanosecond)
+	handled := ""
+	w.SetOnTrip(func(reason string) { handled = reason })
+	var spin func()
+	spin = func() { s.Schedule(Nanosecond, spin) }
+	s.Schedule(0, spin)
+	s.Run(Millisecond)
+
+	pw.Close()
+	os.Stderr = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Tripped() || handled == "" {
+		t.Fatal("trip handler did not run")
+	}
+	if len(out) != 0 {
+		t.Errorf("trip wrote %d bytes to stderr with a handler installed:\n%s", len(out), out)
 	}
 }

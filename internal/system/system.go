@@ -289,9 +289,7 @@ func (sys *System) phase(n int) error {
 		}
 		return true
 	}
-	abort := func() error {
-		return fmt.Errorf("system: phase aborted at %v: %s", sys.sim.Now(), sys.wd.Report())
-	}
+	abort := func() error { return sys.tripError("phase aborted") }
 	for i := 0; i < 1000; i++ {
 		sys.sim.RunUntil(done)
 		if sys.wd.Tripped() {
@@ -318,6 +316,15 @@ func (sys *System) phase(n int) error {
 		return fmt.Errorf("system: phase deadlocked at %v: %s", sys.sim.Now(), sys.describeStall())
 	}
 	return nil
+}
+
+// tripError wraps the watchdog's structured *sim.TripError into a run
+// error. The message carries the full diagnostic dump (the CLIs print
+// it), while errors.As recovers the TripError so a programmatic caller —
+// a service failing a job — can take the one-line reason and file the
+// diagnostics where they belong instead of echoing them.
+func (sys *System) tripError(what string) error {
+	return fmt.Errorf("system: %s at %v: %w\n%s", what, sys.sim.Now(), sys.wd.Err(), sys.wd.Report())
 }
 
 func (sys *System) describeStall() string {
@@ -401,7 +408,7 @@ func (sys *System) drainResidual() error {
 	for i := 0; i < 256 && sys.ctl.Pending() > 0; i++ {
 		sys.sim.Run(sys.sim.Now() + sim.NS(8000))
 		if sys.wd != nil && sys.wd.Tripped() {
-			return fmt.Errorf("system: residual drain aborted at %v: %s", sys.sim.Now(), sys.wd.Report())
+			return sys.tripError("residual drain aborted")
 		}
 	}
 	if n := sys.ctl.Pending(); n > 0 {
