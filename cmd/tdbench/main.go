@@ -233,7 +233,12 @@ func run() error {
 			sweepErr = fmt.Errorf("%d matrix cell(s) failed", len(failed))
 		}
 		wall := wallSince(start)
-		fmt.Fprintf(os.Stderr, "tdbench: matrix done in %v\n", wall.Round(time.Second))
+		cellsPerSec := 0.0
+		if secs := wall.Seconds(); secs > 0 {
+			cellsPerSec = float64(len(m.Results)) / secs
+		}
+		fmt.Fprintf(os.Stderr, "tdbench: matrix done in %v: %d cells, %.2f cells/sec\n",
+			wall.Round(time.Second), len(m.Results), cellsPerSec)
 		summary.Matrix = matrixSummary(m, wall)
 	}
 

@@ -7,26 +7,35 @@
 // Usage:
 //
 //	tdserve serve -addr :8344 -dir ./tdserve-store
-//	tdserve loadtest -url http://localhost:8344 -n 50 -c 4
+//	tdserve loadtest -url http://localhost:8344 -n 200 -ramp 1,4,16,64
 //
 // serve runs until SIGINT/SIGTERM, then shuts down gracefully: stop
-// accepting, cancel the running job at its next cell boundary (finished
-// cells are already checkpointed), flush, exit. loadtest submits the
-// same configuration repeatedly and reports wall-clock latency
-// percentiles — after the first miss fills the store, every request is
-// a cache hit and the p50 measures the service tier, not the simulator.
+// accepting, cancel running jobs at their next cell boundary (finished
+// cells are already checkpointed), flush, exit.
+//
+// loadtest drives a hit/miss request mix at one or more concurrency
+// levels and reports wall-clock latency percentiles per level. Hits
+// repeat one configuration (after the first fill, every request is a
+// cache hit, so the latency measures the serving tier, not the
+// simulator); misses perturb the configuration's fault seed — a field
+// that changes the content address without changing the simulation's
+// cost — so each miss pays for exactly one fresh tiny simulation.
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -73,9 +82,11 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  tdserve serve    [-addr :8344] [-dir DIR] [-queue N] [-sim-jobs N]
+  tdserve serve    [-addr :8344] [-dir DIR] [-queue N] [-workers N]
+                   [-sim-jobs N] [-sim-tokens N] [-mem-cache BYTES]
                    [-deadline DUR] [-metrics DUR]
-  tdserve loadtest [-url URL] [-n N] [-c N] [-body JSON]
+  tdserve loadtest [-url URL] [-n N] [-c N | -ramp N,N,...]
+                   [-miss-frac F] [-body JSON] [-json FILE]
 `)
 }
 
@@ -84,23 +95,36 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":8344", "listen address")
 	dir := fs.String("dir", "tdserve-store", "result store directory")
 	queue := fs.Int("queue", 8, "admission queue depth")
-	simJobs := fs.Int("sim-jobs", 0, "matrix workers per job (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "job worker-pool size (0 = max(2, GOMAXPROCS))")
+	simJobs := fs.Int("sim-jobs", 0, "matrix fan-out ceiling per job (0 = GOMAXPROCS)")
+	simTokens := fs.Int("sim-tokens", 0, "shared CPU-token budget across jobs (0 = GOMAXPROCS)")
+	memCache := fs.Int64("mem-cache", 64<<20, "in-memory result cache bound in bytes (0 = disabled)")
 	deadline := fs.Duration("deadline", 10*time.Minute, "per-job deadline")
 	metrics := fs.Duration("metrics", 0, "sampler period of simulated time streamed to /jobs/{id}/events (0 = off)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget")
 	fs.Parse(args)
 
+	// The CLI's "0 disables the cache" maps to the Config convention
+	// where zero selects the default and negative disables.
+	memBytes := *memCache
+	if memBytes == 0 {
+		memBytes = -1
+	}
 	s, err := serve.NewServer(serve.Config{
 		Dir:             *dir,
 		QueueDepth:      *queue,
+		Workers:         *workers,
 		SimJobs:         *simJobs,
+		SimTokens:       *simTokens,
+		MemCacheBytes:   memBytes,
 		JobDeadline:     *deadline,
 		MetricsInterval: sim.NS(float64(metrics.Nanoseconds())),
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("tdserve: code version %s, store %s, listening on %s\n", s.Version(), *dir, *addr)
+	fmt.Printf("tdserve: code version %s, store %s, %d workers / %d CPU tokens, listening on %s\n",
+		s.Version(), *dir, s.Workers(), s.Budget().Total(), *addr)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -122,7 +146,7 @@ func runServe(args []string) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Stop the listener first so no request lands after the server
-	// stops admitting, then drain the job worker within the budget.
+	// stops admitting, then drain the job workers within the budget.
 	httpErr := httpSrv.Shutdown(shutdownCtx)
 	if err := s.Close(shutdownCtx); err != nil {
 		return err
@@ -130,44 +154,142 @@ func runServe(args []string) error {
 	return httpErr
 }
 
+// stageReport is one concurrency level's outcome in the loadtest report.
+type stageReport struct {
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+	MemHits     int `json:"mem_hits"`
+	DiskHits    int `json:"disk_hits"`
+	Misses      int `json:"misses"`
+	Errors      int `json:"errors"`
+
+	P50NS float64 `json:"p50_ns"`
+	P90NS float64 `json:"p90_ns"`
+	P99NS float64 `json:"p99_ns"`
+	MaxNS float64 `json:"max_ns"`
+}
+
+// loadReport is the -json output: the parameters plus one stageReport
+// per ramp level.
+type loadReport struct {
+	URL       string        `json:"url"`
+	PerStage  int           `json:"requests_per_stage"`
+	MissFrac  float64       `json:"miss_frac"`
+	Stages    []stageReport `json:"stages"`
+	TotalErrs int           `json:"total_errors"`
+}
+
 func runLoadtest(args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
 	url := fs.String("url", "http://localhost:8344", "tdserve base URL")
-	n := fs.Int("n", 50, "total requests")
-	c := fs.Int("c", 4, "concurrent clients")
+	n := fs.Int("n", 50, "requests per stage")
+	c := fs.Int("c", 4, "concurrent clients (ignored when -ramp is set)")
+	ramp := fs.String("ramp", "", "comma-separated concurrency levels, e.g. 1,4,16,64")
+	missFrac := fs.Float64("miss-frac", 0, "fraction of requests that are unique-configuration misses [0,1]")
 	body := fs.String("body", `{"workloads":["bt.C"],"cache_mb":1,"requests_per_core":50,"warmup_per_core":10}`,
 		"request body (a serve.Request)")
+	jsonPath := fs.String("json", "", "write the per-stage report to this file as JSON")
 	fs.Parse(args)
-	if *n <= 0 || *c <= 0 {
-		return fmt.Errorf("loadtest: -n and -c must be positive")
+	if *n <= 0 {
+		return fmt.Errorf("loadtest: -n must be positive")
+	}
+	if *missFrac < 0 || *missFrac > 1 {
+		return fmt.Errorf("loadtest: -miss-frac %g is not in [0,1]", *missFrac)
+	}
+	var base serve.Request
+	if err := json.Unmarshal([]byte(*body), &base); err != nil {
+		return fmt.Errorf("loadtest: -body does not parse as a serve.Request: %v", err)
+	}
+	levels := []int{*c}
+	if *ramp != "" {
+		levels = levels[:0]
+		for _, part := range strings.Split(*ramp, ",") {
+			lv, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || lv <= 0 {
+				return fmt.Errorf("loadtest: bad -ramp level %q", part)
+			}
+			levels = append(levels, lv)
+		}
 	}
 
-	payload := []byte(*body)
-	var (
-		mu     sync.Mutex
-		hist   = stats.NewLogHist()
-		hits   int
-		errs   int
-		firsts int
-	)
-	work := make(chan struct{}, *n)
-	for i := 0; i < *n; i++ {
-		work <- struct{}{}
+	// Misses must be unique across the whole run (a repeated "miss" is a
+	// hit); the seed base keys them away from any previous run against
+	// the same store.
+	var seed atomic.Uint64
+	seed.Store(uint64(wallNow().UnixNano()))
+
+	report := loadReport{URL: *url, PerStage: *n, MissFrac: *missFrac}
+	for _, level := range levels {
+		st := runStage(*url, *n, level, *missFrac, base, &seed)
+		report.Stages = append(report.Stages, st)
+		report.TotalErrs += st.Errors
+		fmt.Printf("c=%-3d requests: %d  mem: %d  disk: %d  simulated: %d  errors: %d\n",
+			level, st.Requests, st.MemHits, st.DiskHits, st.Misses, st.Errors)
+		fmt.Printf("      latency: p50 %s  p90 %s  p99 %s  max %s\n",
+			fmtDur(st.P50NS), fmtDur(st.P90NS), fmtDur(st.P99NS), fmtDur(st.MaxNS))
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report: %s\n", *jsonPath)
+	}
+	if report.TotalErrs > 0 {
+		return fmt.Errorf("loadtest: %d request(s) failed", report.TotalErrs)
+	}
+	return nil
+}
+
+// runStage fires n requests at the service from `level` concurrent
+// clients. missFrac of them (interleaved evenly by accumulator, not
+// front-loaded) carry a fresh fault seed — a new content address at
+// unchanged simulation cost — so they exercise the full miss path.
+func runStage(url string, n, level int, missFrac float64, base serve.Request, seed *atomic.Uint64) stageReport {
+	work := make(chan bool, n) // true = this request is a miss
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += missFrac
+		miss := acc >= 1
+		if miss {
+			acc--
+		}
+		work <- miss
 	}
 	close(work)
 
+	var (
+		mu   sync.Mutex
+		hist = stats.NewLogHist()
+		st   = stageReport{Concurrency: level, Requests: n}
+	)
 	var wg sync.WaitGroup
-	for i := 0; i < *c; i++ {
+	for i := 0; i < level; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			client := &http.Client{Timeout: 15 * time.Minute}
-			for range work {
-				start := wallNow()
-				resp, err := client.Post(*url+"/jobs?wait=1", "application/json", bytes.NewReader(payload))
+			for miss := range work {
+				req := base
+				if miss {
+					req.FaultSeed = seed.Add(1)
+				}
+				payload, err := json.Marshal(req)
 				if err != nil {
 					mu.Lock()
-					errs++
+					st.Errors++
+					mu.Unlock()
+					continue
+				}
+				start := wallNow()
+				resp, err := client.Post(url+"/jobs?wait=1", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					mu.Lock()
+					st.Errors++
 					mu.Unlock()
 					continue
 				}
@@ -178,11 +300,16 @@ func runLoadtest(args []string) error {
 				hist.AddTick(sim.Tick(d.Nanoseconds()) * sim.Nanosecond)
 				switch {
 				case resp.StatusCode != http.StatusOK:
-					errs++
-				case resp.Header.Get("Tdserve-Cache") == "hit":
-					hits++
+					st.Errors++
 				default:
-					firsts++
+					switch resp.Header.Get("Tdserve-Cache") {
+					case "mem":
+						st.MemHits++
+					case "disk":
+						st.DiskHits++
+					default:
+						st.Misses++
+					}
 				}
 				mu.Unlock()
 			}
@@ -190,17 +317,13 @@ func runLoadtest(args []string) error {
 	}
 	wg.Wait()
 
-	fmt.Printf("requests: %d  store hits: %d  simulated: %d  errors: %d\n",
-		*n, hits, firsts, errs)
 	if hist.N() > 0 {
-		fmt.Printf("latency: p50 %s  p90 %s  p99 %s  max %s\n",
-			fmtDur(hist.PercentileNS(0.50)), fmtDur(hist.PercentileNS(0.90)),
-			fmtDur(hist.PercentileNS(0.99)), fmtDur(hist.Max().Nanoseconds()))
+		st.P50NS = hist.PercentileNS(0.50)
+		st.P90NS = hist.PercentileNS(0.90)
+		st.P99NS = hist.PercentileNS(0.99)
+		st.MaxNS = float64(hist.Max().Nanoseconds())
 	}
-	if errs > 0 {
-		return fmt.Errorf("loadtest: %d request(s) failed", errs)
-	}
-	return nil
+	return st
 }
 
 func fmtDur(ns float64) string {

@@ -60,6 +60,17 @@ type MatrixOptions struct {
 	// are delivered with a nil Result and the *CellError; completed cells
 	// with err == nil. tdserve checkpoints from this hook.
 	OnCell func(Key, *system.Result, error)
+
+	// Budget, when non-nil, gates cell simulation on a shared CPU-token
+	// pool: the sweep registers one lease for its duration, and every
+	// worker acquires a token before simulating a cell and releases it
+	// after. Jobs stays the goroutine fan-out ceiling; the budget decides
+	// how many of those goroutines may simulate at once, so several
+	// sweeps sharing one budget split the host fairly instead of
+	// oversubscribing it (see CPUBudget). Gating only reorders wall-clock
+	// scheduling between independent cells — results stay bit-identical
+	// to an ungated run. A nil Budget never gates.
+	Budget *CPUBudget
 }
 
 // CellError records the failure of one (design, workload) cell of a
@@ -208,6 +219,11 @@ func RunMatrixOpts(sc Scale, opts MatrixOptions) (*Matrix, error) {
 	if !opts.ReplayWarmup {
 		images = newImageSet(sc)
 	}
+	var lease *CPULease
+	if opts.Budget != nil {
+		lease = opts.Budget.Lease()
+		defer lease.Close()
+	}
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
@@ -224,11 +240,25 @@ func RunMatrixOpts(sc Scale, opts MatrixOptions) (*Matrix, error) {
 					close(done[i])
 					continue
 				}
+				if lease != nil {
+					// The budget gate: simulation (including the shared
+					// warmup-image build below) happens only under a held
+					// token. A cancellation while queued for a token fails
+					// the cell exactly like the between-cells check above.
+					if err := lease.Acquire(ctx); err != nil {
+						errs[i] = &CellError{Design: c.d, Workload: c.wl.Name, Err: err}
+						close(done[i])
+						continue
+					}
+				}
 				var img *system.WarmupImage
 				if images != nil {
 					img = images.get(c.wlIndex)
 				}
 				res, fk, err := runCellSafe(sc.Config(c.d, c.wl), img)
+				if lease != nil {
+					lease.Release()
+				}
 				if err != nil {
 					err = &CellError{Design: c.d, Workload: c.wl.Name, Err: err}
 					res = nil

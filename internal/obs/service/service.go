@@ -1,0 +1,177 @@
+// Package service is the serving-tier counterpart of the simulation
+// Observer: a concurrency-safe counter/gauge/histogram registry for
+// wall-clock-side code (HTTP handlers, job workers). The Observer is
+// deliberately single-goroutine and keyed to simulated time, which is
+// exactly wrong for a server: tdserve's handlers run on arbitrary
+// goroutines and its latencies are wall durations. This package fills
+// that gap with atomic counters, pull-style gauges, and mutex-guarded
+// stats.LogHist latency histograms, snapshotted on demand in sorted
+// name order so a metrics endpoint's output is deterministic for a
+// given state.
+//
+// The registry never touches the clock itself: callers time their own
+// sections (behind their package's annotated wall-clock seam) and hand
+// in durations, keeping the determinism analyzer's single-seam
+// discipline intact. Unlike the Observer's hooks, a Metrics registry is
+// never nil when the server exists — it is construction-time state, not
+// an optional subsystem — which is why it lives outside package obs and
+// outside the observe-hook (nil-guard) pattern.
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdram/internal/sim"
+	"tdram/internal/stats"
+)
+
+// Metrics is the registry. The zero value is not usable; construct with
+// NewMetrics.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]func() float64
+	hists    map[string]*Hist
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]func() float64),
+		hists:    make(map[string]*Hist),
+	}
+}
+
+// Counter is a monotonic atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Hist is a concurrency-safe latency histogram over wall durations,
+// backed by the same log-linear stats.LogHist the simulator uses for
+// its tail latencies (~1% relative error at every magnitude, no
+// overflow bucket to saturate the tail).
+type Hist struct {
+	mu sync.Mutex
+	h  *stats.LogHist
+}
+
+// Observe records one duration; negative durations clamp to zero.
+func (h *Hist) Observe(d time.Duration) {
+	h.mu.Lock()
+	h.h.AddTick(sim.Tick(d.Nanoseconds()) * sim.Nanosecond)
+	h.mu.Unlock()
+}
+
+// snapshot reads the histogram's summary under the lock.
+func (h *Hist) snapshot() (n uint64, p50, p90, p99, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.h.N() == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	return h.h.N(), h.h.PercentileNS(0.50), h.h.PercentileNS(0.90),
+		h.h.PercentileNS(0.99), h.h.Max().Nanoseconds()
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Safe to call from any goroutine; callers should cache the
+// result on hot paths.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers a pull-style gauge: fn is invoked at snapshot time
+// and must be safe to call from any goroutine. Re-registering a name
+// replaces its function.
+func (m *Metrics) Gauge(name string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges[name] = fn
+}
+
+// Hist returns the latency histogram registered under name, creating it
+// on first use.
+func (m *Metrics) Hist(name string) *Hist {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Hist{h: stats.NewLogHist()}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Metric is one row of a Snapshot. Exactly one of the value groups is
+// meaningful, selected by Kind: counters and gauges fill Value;
+// histograms fill Count and the latency percentiles.
+type Metric struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // "counter" | "gauge" | "hist"
+	Value float64 `json:"value,omitempty"`
+
+	Count uint64  `json:"count,omitempty"`
+	P50NS float64 `json:"p50_ns,omitempty"`
+	P90NS float64 `json:"p90_ns,omitempty"`
+	P99NS float64 `json:"p99_ns,omitempty"`
+	MaxNS float64 `json:"max_ns,omitempty"`
+}
+
+// Snapshot captures every registered metric, sorted by name so the
+// output order is deterministic. Gauge functions and histogram locks
+// are evaluated outside the registry lock: a gauge that itself reads a
+// mutex-guarded value must not be able to deadlock against a
+// concurrent Counter/Hist registration.
+func (m *Metrics) Snapshot() []Metric {
+	m.mu.Lock()
+	counterNames := stats.SortedKeys(m.counters)
+	gaugeNames := stats.SortedKeys(m.gauges)
+	histNames := stats.SortedKeys(m.hists)
+	counters := make([]*Counter, len(counterNames))
+	for i, n := range counterNames {
+		counters[i] = m.counters[n]
+	}
+	gauges := make([]func() float64, len(gaugeNames))
+	for i, n := range gaugeNames {
+		gauges[i] = m.gauges[n]
+	}
+	hists := make([]*Hist, len(histNames))
+	for i, n := range histNames {
+		hists[i] = m.hists[n]
+	}
+	m.mu.Unlock()
+
+	rows := make([]Metric, 0, len(counters)+len(gauges)+len(hists))
+	for i, c := range counters {
+		rows = append(rows, Metric{Name: counterNames[i], Kind: "counter", Value: float64(c.Value())})
+	}
+	for i, fn := range gauges {
+		rows = append(rows, Metric{Name: gaugeNames[i], Kind: "gauge", Value: fn()})
+	}
+	for i, h := range hists {
+		row := Metric{Name: histNames[i], Kind: "hist"}
+		row.Count, row.P50NS, row.P90NS, row.P99NS, row.MaxNS = h.snapshot()
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}

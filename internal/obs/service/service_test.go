@@ -1,0 +1,101 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterRegistryIdempotent(t *testing.T) {
+	m := NewMetrics()
+	a := m.Counter("serve.hits")
+	b := m.Counter("serve.hits")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := a.Value(); got != 3 {
+		t.Errorf("counter value = %d, want 3", got)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("z.last").Inc()
+	m.Counter("a.first").Add(5)
+	m.Gauge("m.middle", func() float64 { return 7 })
+	m.Hist("h.lat").Observe(time.Millisecond)
+
+	rows := m.Snapshot()
+	if len(rows) != 4 {
+		t.Fatalf("snapshot has %d rows, want 4", len(rows))
+	}
+	if !sort.SliceIsSorted(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name }) {
+		t.Error("snapshot rows are not name-sorted")
+	}
+	byName := map[string]Metric{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["a.first"]; r.Kind != "counter" || r.Value != 5 {
+		t.Errorf("a.first = %+v", r)
+	}
+	if r := byName["m.middle"]; r.Kind != "gauge" || r.Value != 7 {
+		t.Errorf("m.middle = %+v", r)
+	}
+	h := byName["h.lat"]
+	if h.Kind != "hist" || h.Count != 1 {
+		t.Errorf("h.lat = %+v", h)
+	}
+	// LogHist is log-linear with ~1% relative error: the 1ms sample
+	// must read back within a few percent at every percentile.
+	for _, p := range []float64{h.P50NS, h.P99NS, h.MaxNS} {
+		if p < 0.9e6 || p > 1.1e6 {
+			t.Errorf("1ms observation reads back as %vns", p)
+		}
+	}
+}
+
+func TestHistEmptySnapshot(t *testing.T) {
+	m := NewMetrics()
+	m.Hist("empty")
+	rows := m.Snapshot()
+	if len(rows) != 1 || rows[0].Count != 0 || rows[0].P99NS != 0 {
+		t.Errorf("empty hist snapshot = %+v", rows)
+	}
+}
+
+// TestConcurrentUse exercises the registry under the race detector:
+// concurrent registration, increments, observations, and snapshots.
+func TestConcurrentUse(t *testing.T) {
+	m := NewMetrics()
+	m.Gauge("g", func() float64 { return 1 })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				m.Counter("c").Inc()
+				m.Hist("h").Observe(time.Microsecond)
+				if j%50 == 0 {
+					m.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rows := m.Snapshot()
+	byName := map[string]Metric{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if got := byName["c"].Value; got != 8*200 {
+		t.Errorf("counter = %v, want %d", got, 8*200)
+	}
+	if got := byName["h"].Count; got != 8*200 {
+		t.Errorf("hist count = %v, want %d", got, 8*200)
+	}
+}

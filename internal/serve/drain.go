@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// drainRate estimates the service's live cell throughput from a ring of
+// recent cell-completion timestamps, so 429 backpressure can tell the
+// client when the queue will actually have room instead of quoting a
+// constant. The window spans the last drainWindow completions measured
+// against "now", so an idle burst from minutes ago decays instead of
+// advertising stale throughput.
+type drainWindow struct {
+	mu    sync.Mutex
+	times [64]time.Time
+	n     int // total completions recorded
+}
+
+// note records one completed cell.
+func (d *drainWindow) note(t time.Time) {
+	d.mu.Lock()
+	d.times[d.n%len(d.times)] = t
+	d.n++
+	d.mu.Unlock()
+}
+
+// cellsPerSec reports the recent drain rate, or 0 when there is not
+// enough history to estimate one.
+func (d *drainWindow) cellsPerSec(now time.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	samples := d.n
+	if samples > len(d.times) {
+		samples = len(d.times)
+	}
+	if samples < 2 {
+		return 0
+	}
+	oldest := d.times[(d.n-samples)%len(d.times)]
+	span := now.Sub(oldest).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(samples) / span
+}
+
+// retryAfterSeconds derives the 429 Retry-After from the live drain
+// rate and the work already committed: queuedCells at cellsPerSec is
+// when the queue plausibly has room. Floor 1s (an instant retry under
+// load is just another rejection), ceiling 300s (past that the estimate
+// is noise and clients should poll, not sleep).
+func retryAfterSeconds(queuedCells int, rate float64) int {
+	const floor, ceiling = 1, 300
+	if rate <= 0 || queuedCells <= 0 {
+		return 2 // no history yet: the old constant is the best guess
+	}
+	secs := int(math.Ceil(float64(queuedCells) / rate))
+	if secs < floor {
+		return floor
+	}
+	if secs > ceiling {
+		return ceiling
+	}
+	return secs
+}

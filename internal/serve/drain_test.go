@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		name   string
+		queued int
+		rate   float64
+		want   int
+	}{
+		{"no history", 10, 0, 2},
+		{"no backlog", 0, 5, 2},
+		{"simple division", 100, 10, 10},
+		{"rounds up", 101, 10, 11},
+		{"floor at 1s", 1, 1000, 1},
+		{"ceiling at 300s", 1_000_000, 1, 300},
+		{"negative rate", 10, -1, 2},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.queued, c.rate); got != c.want {
+			t.Errorf("%s: retryAfterSeconds(%d, %v) = %d, want %d", c.name, c.queued, c.rate, got, c.want)
+		}
+	}
+}
+
+func TestDrainWindowRate(t *testing.T) {
+	var d drainWindow
+	base := time.Unix(1000, 0)
+	if got := d.cellsPerSec(base); got != 0 {
+		t.Errorf("empty window rate = %v, want 0", got)
+	}
+	d.note(base)
+	if got := d.cellsPerSec(base.Add(time.Second)); got != 0 {
+		t.Errorf("single-sample rate = %v, want 0 (not enough history)", got)
+	}
+	// Ten cells over nine seconds, measured one second after the last:
+	// 10 samples across a 10s span.
+	for i := 0; i < 10; i++ {
+		d.note(base.Add(time.Duration(i) * time.Second))
+	}
+	now := base.Add(10 * time.Second)
+	got := d.cellsPerSec(now)
+	if got < 1.0 || got > 1.2 {
+		t.Errorf("rate = %v cells/sec, want ~1.1 (11 samples over 10s)", got)
+	}
+
+	// The ring keeps only the newest 64 completions: a long-ago burst
+	// does not inflate the rate forever.
+	var d2 drainWindow
+	for i := 0; i < 200; i++ {
+		d2.note(base.Add(time.Duration(i) * time.Millisecond))
+	}
+	// 64 samples spanning ~63ms, measured 10 minutes later: the stale
+	// window divides by the full elapsed span, so the advertised rate
+	// decays toward zero instead of claiming 1000 cells/sec.
+	stale := d2.cellsPerSec(base.Add(10 * time.Minute))
+	if stale > 1 {
+		t.Errorf("stale rate = %v cells/sec, want decayed (<1)", stale)
+	}
+}

@@ -8,7 +8,10 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -225,8 +228,11 @@ func TestServeCacheHitIsByteIdentical(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("second submit: %d %s", resp2.StatusCode, second)
 	}
-	if resp2.Header.Get("Tdserve-Cache") != "hit" {
-		t.Errorf("second submit not served from the store (Tdserve-Cache=%q)", resp2.Header.Get("Tdserve-Cache"))
+	if tier := resp2.Header.Get("Tdserve-Cache"); tier != "mem" && tier != "disk" {
+		t.Errorf("second submit not served from a cache tier (Tdserve-Cache=%q)", tier)
+	}
+	if resp2.Header.Get("ETag") == "" {
+		t.Error("cached result response carries no ETag")
 	}
 	if !bytes.Equal(first, second) {
 		t.Errorf("cache hit is not byte-identical:\n%s\nvs\n%s", first, second)
@@ -368,7 +374,8 @@ func TestQueueSaturationRejectsWith429(t *testing.T) {
 	}
 	defer func() { runMatrix = real }()
 
-	s := newTestServer(t, t.TempDir(), func(c *Config) { c.QueueDepth = 1 })
+	// One worker so "the worker is held" saturates the whole pool.
+	s := newTestServer(t, t.TempDir(), func(c *Config) { c.QueueDepth = 1; c.Workers = 1 })
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -450,7 +457,10 @@ func TestCorruptResultIsMissAndRecomputed(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real simulations")
 	}
-	s := newTestServer(t, t.TempDir(), nil)
+	// The memory tier is disabled so the test exercises the disk
+	// contract; a mem-resident entry would (correctly — the bytes are
+	// immutable by determinism) keep serving after on-disk corruption.
+	s := newTestServer(t, t.TempDir(), func(c *Config) { c.MemCacheBytes = -1 })
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -522,6 +532,178 @@ func TestJobDeadlineFailsCleanly(t *testing.T) {
 	}
 	if _, ok := s.Store().GetCheckpoint(req.ID()); ok {
 		t.Error("failed job left a checkpoint behind")
+	}
+}
+
+// TestConcurrentSubmitRunsOneSimulation pins the collapse property end
+// to end: N clients racing to submit one configuration cause exactly one
+// simulation, and every client reads byte-identical result documents.
+func TestConcurrentSubmitRunsOneSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	var sims atomic.Int64
+	real := runMatrix
+	runMatrix = func(sc experiments.Scale, opts experiments.MatrixOptions) (*experiments.Matrix, error) {
+		sims.Add(1)
+		return real(sc, opts)
+	}
+	defer func() { runMatrix = real }()
+
+	s := newTestServer(t, t.TempDir(), nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(tinyRequest())
+	const clients = 12
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/jobs?wait=1", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			b, _ := readAll(t, resp)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: %d %s", i, resp.StatusCode, b)
+				return
+			}
+			bodies[i] = b
+		}(i)
+	}
+	wg.Wait()
+	if got := sims.Load(); got != 1 {
+		t.Errorf("%d concurrent submissions ran %d simulations, want 1", clients, got)
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d response differs from client 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+}
+
+// TestResultServedFromMemoryAfterDiskLoss: once a result is resident in
+// the memory tier, repeat reads are served from memory — the disk file
+// can vanish entirely and the hit path never notices. Also pins the
+// If-None-Match → 304 revalidation contract.
+func TestResultServedFromMemoryAfterDiskLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	s := newTestServer(t, t.TempDir(), nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := tinyRequest()
+	req.Canonicalize()
+	id := req.ID()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/jobs?wait=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, want)
+	}
+
+	// The write-through put the result in memory; remove the disk copy.
+	if err := os.Remove(filepath.Join(s.Store().Dir(), id+".res")); err != nil {
+		t.Fatal(err)
+	}
+
+	get, err := http.Get(ts.URL + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readAll(t, get)
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("read after disk loss: %d %s", get.StatusCode, got)
+	}
+	if tier := get.Header.Get("Tdserve-Cache"); tier != "mem" {
+		t.Errorf("Tdserve-Cache = %q, want mem", tier)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("memory-tier read is not byte-identical to the original response")
+	}
+	if cl := get.Header.Get("Content-Length"); cl != strconv.Itoa(len(want)) {
+		t.Errorf("Content-Length = %q, want %d", cl, len(want))
+	}
+	etag := get.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("result response carries no ETag")
+	}
+
+	// Revalidation: matching If-None-Match short-circuits to a bodyless 304.
+	reval, err := http.NewRequest(http.MethodGet, ts.URL+"/jobs/"+id+"/result", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reval.Header.Set("If-None-Match", etag)
+	r304, err := http.DefaultClient.Do(reval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b304, _ := readAll(t, r304)
+	if r304.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation: %d %s, want 304", r304.StatusCode, b304)
+	}
+	if len(b304) != 0 {
+		t.Errorf("304 carried a %d-byte body", len(b304))
+	}
+}
+
+// TestMultiWorkerMatchesSingleWorker pins the throughput tier's
+// determinism criterion: a pool of workers racing several jobs through
+// a shared token budget stores results byte-identical to a one-worker,
+// one-token server given the same configurations.
+func TestMultiWorkerMatchesSingleWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	reqs := make([]Request, 3)
+	for i := range reqs {
+		reqs[i] = tinyRequest()
+		reqs[i].RequestsPerCore = 50 + 10*i // distinct content addresses
+		if err := reqs[i].Canonicalize(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run := func(mutate func(*Config)) map[string][]byte {
+		s := newTestServer(t, t.TempDir(), mutate)
+		jobs := make([]*Job, len(reqs))
+		for i, r := range reqs {
+			j, err := s.Admit(r.ID(), r)
+			if err != nil {
+				t.Fatalf("admit %s: %v", r.ID(), err)
+			}
+			jobs[i] = j
+		}
+		out := make(map[string][]byte)
+		for i, j := range jobs {
+			if st := waitTerminal(t, j); st != StateDone {
+				t.Fatalf("job %s ended %s", j.id, st)
+			}
+			b, ok := s.Store().GetResult(reqs[i].ID())
+			if !ok {
+				t.Fatalf("job %s has no stored result", j.id)
+			}
+			out[reqs[i].ID()] = b
+		}
+		return out
+	}
+
+	serial := run(func(c *Config) { c.Workers = 1; c.SimJobs = 1; c.SimTokens = 1 })
+	pooled := run(func(c *Config) { c.Workers = 3; c.SimJobs = 4; c.SimTokens = 2 })
+	for id, want := range serial {
+		if got := pooled[id]; !bytes.Equal(got, want) {
+			t.Errorf("job %s: pooled result differs from serial:\n%s\nvs\n%s", id, got, want)
+		}
 	}
 }
 

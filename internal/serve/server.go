@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tdram/internal/experiments"
 	"tdram/internal/obs"
+	"tdram/internal/obs/service"
 	"tdram/internal/sim"
 	"tdram/internal/system"
 )
@@ -27,9 +30,29 @@ type Config struct {
 	// never degrade to "silently dropped".
 	QueueDepth int
 
-	// SimJobs bounds the matrix parallelism inside one job (default
-	// runtime.GOMAXPROCS(0), the runner's own default).
+	// Workers sets the job worker-pool size (default max(2,
+	// runtime.GOMAXPROCS(0))). Each worker runs one job at a time; the
+	// pool's aggregate simulation parallelism is governed by the shared
+	// CPU-token budget, not by Workers, so extra workers cost queue
+	// concurrency, never host oversubscription.
+	Workers int
+
+	// SimJobs bounds the matrix fan-out ceiling inside one job (default
+	// runtime.GOMAXPROCS(0), the runner's own default). How much of that
+	// fan-out actually simulates at once is decided per cell by the
+	// token budget.
 	SimJobs int
+
+	// SimTokens sizes the shared CPU-token budget every job's matrix
+	// parallelism draws from (default runtime.GOMAXPROCS(0)): a lone job
+	// gets its full SimJobs fan-out, a deep queue degrades each job's
+	// fan-out toward its fair share so many jobs progress concurrently.
+	SimTokens int
+
+	// MemCacheBytes bounds the in-memory result tier above the disk
+	// store. Zero selects the 64 MiB default; negative disables the
+	// tier (reads fall through to disk, still singleflight-collapsed).
+	MemCacheBytes int64
 
 	// JobDeadline bounds one job's wall-clock run (default 10 minutes).
 	// The deadline cancels the matrix sweep between cells; the job fails
@@ -59,12 +82,28 @@ var (
 	ErrClosed    = errors.New("serve: server is shutting down")
 )
 
-// Server owns the job queue, the worker, and the persistent store. See
-// the package comment for the robustness contract.
+// Server owns the job queue, the worker pool, the two-tier result
+// store (memory LRU over the crash-safe disk store), and the shared
+// CPU-token budget. See the package comment for the robustness
+// contract.
 type Server struct {
 	cfg     Config
 	store   *Store
+	tier    *memTier
 	version string
+	workers int
+
+	budget *experiments.CPUBudget
+
+	metrics *service.Metrics
+	drain   drainWindow
+	busy    atomic.Int64 // workers currently running a job
+
+	// Cached hot-path metric counters (Counter() takes the registry
+	// lock; the handlers should not).
+	cMemHits, cDiskHits, cMisses  *service.Counter
+	cAdmitted, cRejected, cCells  *service.Counter
+	cJobsDone, cJobsFailed, c304s *service.Counter
 
 	ctx    context.Context // cancelled by Close; parents every job context
 	cancel context.CancelFunc
@@ -90,6 +129,19 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.JobDeadline <= 0 {
 		cfg.JobDeadline = 10 * time.Minute
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers < 2 {
+			cfg.Workers = 2
+		}
+	}
+	memBytes := cfg.MemCacheBytes
+	switch {
+	case memBytes == 0:
+		memBytes = 64 << 20
+	case memBytes < 0:
+		memBytes = 0
+	}
 	version := cfg.Version
 	if version == "" {
 		version = CodeVersion()
@@ -98,7 +150,17 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, store: store, version: version, jobs: make(map[string]*Job)}
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		tier:    newMemTier(memBytes),
+		version: version,
+		workers: cfg.Workers,
+		budget:  experiments.NewCPUBudget(cfg.SimTokens),
+		metrics: service.NewMetrics(),
+		jobs:    make(map[string]*Job),
+	}
+	s.initMetrics()
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 
 	recovered := s.recover()
@@ -109,9 +171,35 @@ func NewServer(cfg Config) (*Server, error) {
 		s.jobs[j.id] = j
 		s.queue <- j
 	}
-	s.wg.Add(1)
-	go s.worker()
+	s.wg.Add(s.workers)
+	for i := 0; i < s.workers; i++ {
+		go s.worker()
+	}
 	return s, nil
+}
+
+// initMetrics registers the serving-tier counters and gauges: per-tier
+// hit/miss tallies, admission outcomes, queue and token occupancy, and
+// the memory tier's residency.
+func (s *Server) initMetrics() {
+	m := s.metrics
+	s.cMemHits = m.Counter("serve.hits_mem")
+	s.cDiskHits = m.Counter("serve.hits_disk")
+	s.cMisses = m.Counter("serve.misses")
+	s.cAdmitted = m.Counter("serve.jobs_admitted")
+	s.cRejected = m.Counter("serve.jobs_rejected_429")
+	s.cCells = m.Counter("serve.cells_done")
+	s.cJobsDone = m.Counter("serve.jobs_done")
+	s.cJobsFailed = m.Counter("serve.jobs_failed")
+	s.c304s = m.Counter("serve.revalidated_304")
+	m.Gauge("serve.queue_len", func() float64 { return float64(s.QueueLen()) })
+	m.Gauge("serve.queue_depth", func() float64 { return float64(s.QueueDepth()) })
+	m.Gauge("serve.workers", func() float64 { return float64(s.workers) })
+	m.Gauge("serve.workers_busy", func() float64 { return float64(s.busy.Load()) })
+	m.Gauge("serve.tokens_total", func() float64 { return float64(s.budget.Total()) })
+	m.Gauge("serve.tokens_inflight", func() float64 { return float64(s.budget.InUse()) })
+	m.Gauge("serve.memcache_bytes", func() float64 { return float64(s.tier.Bytes()) })
+	m.Gauge("serve.memcache_entries", func() float64 { return float64(s.tier.Len()) })
 }
 
 // recover scans the store for checkpoints left by a previous process
@@ -153,6 +241,38 @@ func (s *Server) QueueDepth() int { return s.cfg.QueueDepth }
 
 // QueueLen reports how many jobs are waiting (diagnostics).
 func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Workers reports the worker-pool size.
+func (s *Server) Workers() int { return s.workers }
+
+// Budget exposes the shared CPU-token budget (gauges, tests).
+func (s *Server) Budget() *experiments.CPUBudget { return s.budget }
+
+// Metrics exposes the serving-tier metric registry (the /metricz
+// endpoint renders its snapshot).
+func (s *Server) Metrics() *service.Metrics { return s.metrics }
+
+// queuedCells totals the unfinished cells of every queued or running
+// job — the backlog a 429'd client is waiting behind.
+func (s *Server) queuedCells() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, j := range s.jobs {
+		st := j.Status()
+		if st.State == StateQueued || st.State == StateRunning {
+			total += st.Total - st.Done
+		}
+	}
+	return total
+}
+
+// retryAfter derives the 429 Retry-After (seconds) from the live drain
+// rate: recent cells/sec against the committed backlog, with a sane
+// floor and ceiling (see retryAfterSeconds).
+func (s *Server) retryAfter() int {
+	return retryAfterSeconds(s.queuedCells(), s.drain.cellsPerSec(wallNow()))
+}
 
 // Job looks up an admitted job by content address.
 func (s *Server) Job(id string) (*Job, bool) {
@@ -209,9 +329,10 @@ func (s *Server) Admit(id string, req Request) (*Job, error) {
 	return j, nil
 }
 
-// worker drains the queue one job at a time (each job parallelizes
-// internally across matrix cells). It exits when Close cancels the
-// server context; queued jobs stay checkpointed for the next process.
+// worker is one member of the pool: it drains the queue one job at a
+// time (each job parallelizes internally across matrix cells, gated by
+// the shared token budget). It exits when Close cancels the server
+// context; queued jobs stay checkpointed for the next process.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
@@ -219,7 +340,9 @@ func (s *Server) worker() {
 		case <-s.ctx.Done():
 			return
 		case j := <-s.queue:
+			s.busy.Add(1)
 			s.runJobSupervised(j)
+			s.busy.Add(-1)
 		}
 	}
 }
@@ -232,6 +355,7 @@ func (s *Server) runJobSupervised(j *Job) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.store.DeleteCheckpoint(j.id)
+			s.cJobsFailed.Inc()
 			j.fail(fmt.Sprintf("worker panic: %v", r), string(debug.Stack()))
 		}
 	}()
@@ -243,6 +367,7 @@ func (s *Server) runJob(j *Job) {
 	// already; serving it beats re-simulating it.
 	if _, ok := s.store.GetResult(j.id); ok {
 		s.store.DeleteCheckpoint(j.id)
+		s.cJobsDone.Inc()
 		j.setState(StateDone)
 		return
 	}
@@ -278,6 +403,7 @@ func (s *Server) runJob(j *Job) {
 
 	opts := experiments.MatrixOptions{
 		Jobs:    s.cfg.SimJobs,
+		Budget:  s.budget,
 		Context: ctx,
 		Filter: func(k experiments.Key) bool {
 			_, done := ck.Cells[cellKey(k)]
@@ -293,6 +419,8 @@ func (s *Server) runJob(j *Job) {
 			// checkpoint, not the job — ck still holds the cell in
 			// memory, so an uninterrupted run completes normally.
 			_ = s.store.PutCheckpoint(j.id, ck.marshal())
+			s.drain.note(wallNow())
+			s.cCells.Inc()
 			j.cellDone(cellKey(k), len(ck.Cells))
 		},
 	}
@@ -302,14 +430,20 @@ func (s *Server) runJob(j *Job) {
 		doc, err := buildDoc(j.id, s.version, ck)
 		if err != nil {
 			s.store.DeleteCheckpoint(j.id)
+			s.cJobsFailed.Inc()
 			j.fail(err.Error(), "")
 			return
 		}
 		if err := s.store.PutResult(j.id, doc); err != nil {
+			s.cJobsFailed.Inc()
 			j.fail(err.Error(), "")
 			return
 		}
+		// Write-through: the first GET after a simulation is already a
+		// memory hit, and the bytes it serves are the bytes just stored.
+		s.tier.Put(j.id, s.version, doc)
 		s.store.DeleteCheckpoint(j.id)
+		s.cJobsDone.Inc()
 		j.setState(StateDone)
 		return
 	}
@@ -319,6 +453,7 @@ func (s *Server) runJob(j *Job) {
 		// either lands in OnCell or errors), but fail loudly over
 		// pretending completeness.
 		s.store.DeleteCheckpoint(j.id)
+		s.cJobsFailed.Inc()
 		j.fail("incomplete matrix without error", "")
 		return
 	}
@@ -334,6 +469,7 @@ func (s *Server) runJob(j *Job) {
 		diagnostics = trip.Diagnostics
 	}
 	s.store.DeleteCheckpoint(j.id)
+	s.cJobsFailed.Inc()
 	if errors.Is(runErr, context.DeadlineExceeded) {
 		j.fail(fmt.Sprintf("deadline exceeded after %d/%d cells (limit %v)",
 			len(ck.Cells), j.total, s.cfg.JobDeadline), "")

@@ -1,0 +1,16 @@
+package serve
+
+import "time"
+
+// wallNow and wallSince isolate the serve tier's legitimate wall-clock
+// reads — endpoint latency measurement and queue drain-rate estimation,
+// never simulated time — behind one annotated seam so the determinism
+// analyzer covers the rest of the package (the same pattern as tdbench
+// and cmd/tdserve).
+func wallNow() time.Time {
+	return time.Now() //tdlint:allow determinism — service wall-clock timing, not simulated time
+}
+
+func wallSince(t time.Time) time.Duration {
+	return time.Since(t) //tdlint:allow determinism — service wall-clock timing, not simulated time
+}
