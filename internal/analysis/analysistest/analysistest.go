@@ -45,6 +45,38 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	}
 }
 
+// Findings applies analyzer a to one fixture package and returns the
+// findings after //tdlint:allow filtering, without matching want
+// expectations. Seeded-mutation tests use it: copy real source into a
+// fixture, delete one load-bearing line, and assert the analyzer
+// notices.
+func Findings(t *testing.T, dir string, a *analysis.Analyzer, path string) []analysis.Finding {
+	t.Helper()
+	env, err := envFor(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	tpkg, files, info, err := env.check(path)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	env.memo[path] = tpkg
+	pkg := &analysis.Package{
+		ImportPath: path,
+		Dir:        filepath.Join(env.src, path),
+		Fset:       env.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Allow:      analysis.BuildAllowIndex(env.fset, files),
+	}
+	findings, err := pkg.Run(a)
+	if err != nil {
+		t.Fatalf("analysistest: running %s on %s: %v", a.Name, path, err)
+	}
+	return findings
+}
+
 // TestData returns the canonical fixture root for the caller's package:
 // the testdata directory next to the test source.
 func TestData() string {

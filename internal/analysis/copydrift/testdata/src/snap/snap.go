@@ -1,0 +1,167 @@
+// Package snap exercises copydrift: designated copiers must cover
+// every field of their struct, deep-copying anything that can share
+// memory unless the field carries a //tdlint:shared annotation.
+package snap
+
+// ---- passing: assignment-style copier covering every field ----
+
+type good struct {
+	n   int
+	buf []byte
+	fn  func() //tdlint:shared fn — callbacks are code, not state; shared by design
+}
+
+//tdlint:copier good
+func copyGood(dst, src *good) {
+	dst.n = src.n
+	dst.buf = append(dst.buf[:0], src.buf...)
+}
+
+// ---- firing: a field the copier never touches ----
+
+type missing struct {
+	n   int
+	buf []byte // want `field missing\.buf is not copied by designated copier copyMissing`
+}
+
+//tdlint:copier missing
+func copyMissing(dst, src *missing) {
+	dst.n = src.n
+}
+
+// ---- firing: shallow copy of a field that shares memory ----
+
+type aliased struct {
+	n int
+	m map[int]int // want `field aliased\.m is shallow-copied by copyAliased but its type map\[int\]int can share memory`
+}
+
+//tdlint:copier aliased
+func copyAliased(dst, src *aliased) {
+	dst.n = src.n
+	dst.m = src.m
+}
+
+// ---- whole-value copy: d := *src covers every field shallowly ----
+
+type whole struct {
+	n int
+	p *int // want `field whole\.p is shallow-copied by cloneWhole but its type \*int can share memory`
+}
+
+//tdlint:copier whole
+func cloneWhole(src *whole) *whole {
+	d := *src
+	return &d
+}
+
+type wholeFixed struct {
+	n int
+	p *int
+}
+
+//tdlint:copier wholeFixed
+func cloneWholeFixed(src *wholeFixed) *wholeFixed {
+	d := *src
+	if src.p != nil {
+		v := *src.p
+		d.p = &v
+	}
+	return &d
+}
+
+// ---- composite-literal copier, deep via helper call and append ----
+
+type built struct {
+	a  int
+	b  string
+	cs []int
+}
+
+//tdlint:copier built
+func build(src *built) *built {
+	return &built{a: src.a, b: src.b, cs: append([]int(nil), src.cs...)}
+}
+
+// ---- slab-reusing slice copier: append(dst[:0], src...) over []T ----
+
+type elem struct {
+	when int
+	fn   func() //tdlint:shared fn — event callbacks are shared, never copied
+}
+
+//tdlint:copier elem
+func copyElems(dst, src []elem) []elem {
+	return append(dst[:0], src...)
+}
+
+type elemBad struct {
+	when int
+	fn   func() // want `field elemBad\.fn is shallow-copied by copyElemsBad but its type func\(\) can share memory`
+}
+
+//tdlint:copier elemBad
+func copyElemsBad(dst, src []elemBad) []elemBad {
+	return append(dst[:0], src...)
+}
+
+// ---- fill-through-pointer: &dst.f as a call argument is a deep copy ----
+
+type nested struct {
+	a int
+	w []int
+}
+
+//tdlint:copier nested
+func snapNested(src *nested) *nested {
+	d := &nested{a: src.a}
+	fillInts(&d.w, src.w)
+	return d
+}
+
+func fillInts(dst *[]int, src []int) {
+	*dst = append((*dst)[:0], src...)
+}
+
+// ---- per-element loop: dst.f[i] = ... is a deep copy of f ----
+
+type bucketed struct {
+	n  int
+	bs [4][]int
+}
+
+//tdlint:copier bucketed
+func copyBucketed(dst, src *bucketed) {
+	dst.n = src.n
+	for i := range src.bs {
+		dst.bs[i] = append(dst.bs[i][:0], src.bs[i]...)
+	}
+}
+
+// ---- stale annotation: the copier deep-copies the field after all ----
+
+type stale struct {
+	n int
+	//tdlint:shared buf — historical; the copy below postdates it
+	buf []byte // want `stale tdlint:shared: stale\.buf is deep-copied by copyStale`
+}
+
+//tdlint:copier stale
+func copyStale(dst, src *stale) {
+	dst.n = src.n
+	dst.buf = append([]byte(nil), src.buf...)
+}
+
+// ---- allow: the escape hatch suppresses a genuine finding ----
+
+type allowed struct {
+	n int
+	//tdlint:allow copydrift — transitional: copier lands in the next change
+	m map[int]int
+}
+
+//tdlint:copier allowed
+func copyAllowed(dst, src *allowed) {
+	dst.n = src.n
+	dst.m = src.m
+}

@@ -1,0 +1,46 @@
+// Package snapbad exercises copydrift's directive hygiene: malformed
+// and misaimed //tdlint:copier and //tdlint:shared directives are
+// findings themselves, not silent no-ops. The diagnostics land on the
+// directive comments, so this package is checked by message content
+// (analysistest.Findings) rather than // want comments.
+package snapbad
+
+type orphan struct {
+	n int
+	//tdlint:shared fn — annotated, but nothing is designated to copy this type
+	fn func()
+}
+
+type hasBad struct {
+	n int
+	//tdlint:shared nosuchfield — names a field that does not exist
+	m map[int]int
+	//tdlint:shared m
+	m2 map[int]int
+}
+
+//tdlint:copier hasBad
+func copyHasBad(dst, src *hasBad) {
+	dst.n = src.n
+	dst.m = append0(src.m)
+	dst.m2 = append0(src.m2)
+}
+
+func append0(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+//tdlint:copier notAType
+func badTarget() {}
+
+type scalar int
+
+//tdlint:copier scalar
+func badKind() {}
+
+//tdlint:copier
+func noName() {}

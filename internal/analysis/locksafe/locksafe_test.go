@@ -1,0 +1,75 @@
+package locksafe_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tdram/internal/analysis/analysistest"
+	"tdram/internal/analysis/locksafe"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), locksafe.Analyzer, "serve")
+}
+
+// TestSeededMutation proves the analyzer catches a dropped lock in real
+// code: it copies internal/serve/drain.go (self-contained: one
+// mutex-guarded struct, stdlib imports only) into a fixture, strips the
+// d.mu.Lock() from note(), and asserts the now-unguarded field access
+// is reported.
+func TestSeededMutation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("copies and type-checks real source")
+	}
+	const victim = "d.mu.Lock()"
+
+	src, err := os.ReadFile(filepath.Join("..", "..", "serve", "drain.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(string(src), "\n")
+	kept := lines[:0]
+	mutated := false
+	for _, l := range lines {
+		if !mutated && strings.TrimSpace(l) == victim {
+			mutated = true
+			continue
+		}
+		kept = append(kept, l)
+	}
+	if !mutated {
+		t.Fatalf("mutation target %q not found in internal/serve/drain.go", victim)
+	}
+
+	// The fixture root lives next to testdata/src so the go command
+	// still resolves standard-library export data from inside the module.
+	root, err := os.MkdirTemp(analysistest.TestData(), "tmp-mutation-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(root) })
+	dst := filepath.Join(root, "src", "serve")
+	if err := os.MkdirAll(dst, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dst, "drain.go"), []byte(strings.Join(kept, "\n")), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	findings := analysistest.Findings(t, root, locksafe.Analyzer, "serve")
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "guarded by mu but accessed without holding it") {
+			found = true
+		}
+	}
+	if !found {
+		var b strings.Builder
+		for _, f := range findings {
+			b.WriteString("  " + f.String() + "\n")
+		}
+		t.Errorf("stripping %q from note() went undetected; findings:\n%s", victim, b.String())
+	}
+}

@@ -1,0 +1,12 @@
+package poollife_test
+
+import (
+	"testing"
+
+	"tdram/internal/analysis/analysistest"
+	"tdram/internal/analysis/poollife"
+)
+
+func TestPoolLife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poollife.Analyzer, "pool")
+}

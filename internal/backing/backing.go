@@ -97,6 +97,7 @@ func (m *Memory) ReadArg(line uint64, fn func(any, sim.Tick), arg any) bool {
 	}
 	r := m.getReq()
 	r.bank, r.row, r.write, r.arrive, r.fn, r.arg = co.Bank, co.Row, false, m.sim.Now(), fn, arg
+	//tdlint:allow poollife — the queue is the record's single owner: service removes it and putReq recycles it in the same tick loop
 	c.readQ = append(c.readQ, r)
 	c.schedule()
 	return true
@@ -113,6 +114,7 @@ func (m *Memory) Write(line uint64) bool {
 	}
 	r := m.getReq()
 	r.bank, r.row, r.write, r.arrive = co.Bank, co.Row, true, m.sim.Now()
+	//tdlint:allow poollife — the queue is the record's single owner: service removes it and putReq recycles it in the same tick loop
 	c.writeQ = append(c.writeQ, r)
 	c.schedule()
 	return true

@@ -208,6 +208,8 @@ func (c *Cache) MarkDirty(lineAddr uint64) bool {
 // counters all duplicated, so the copy and the original evolve
 // independently. The warmup-image fork uses this to hand every design
 // cell its own prewarmed SRAM stack.
+//
+//tdlint:copier Cache
 func (c *Cache) Clone() *Cache {
 	d := *c
 	d.lines = append([]line(nil), c.lines...)
@@ -234,6 +236,7 @@ type Hierarchy struct {
 	L1, L2 *Cache
 
 	// WriteBack receives dirty L2 victims.
+	//tdlint:shared WriteBack — Clone drops it on purpose: it points at the original owner's core and must be rebound by the new owner
 	WriteBack func(lineAddr uint64)
 }
 
@@ -261,6 +264,8 @@ func NewSizedHierarchy(l1Bytes, l2Bytes uint64) *Hierarchy {
 // Clone returns a deep copy of the stack's content and counters. The
 // WriteBack callback is NOT carried over — it points at the original
 // owner's core; the new owner must rebind it before the first access.
+//
+//tdlint:copier Hierarchy
 func (h *Hierarchy) Clone() *Hierarchy {
 	return &Hierarchy{L1: h.L1.Clone(), L2: h.L2.Clone()}
 }

@@ -642,6 +642,7 @@ func (cc *chanCtl) scheduleWriteback(at sim.Tick, line uint64) {
 		cc.lineFree = ev.next
 	}
 	ev.line = line
+	//tdlint:allow poollife — the scheduled event is the record's only live reference; writebackLineEv recycles it when it fires
 	cc.ctl.sim.ScheduleArgAt(at, writebackLineEv, ev)
 }
 

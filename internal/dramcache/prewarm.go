@@ -53,6 +53,8 @@ func (p *Prewarmer) Prewarm(line uint64, write bool) {
 }
 
 // Image freezes the current content into an immutable TagImage.
+//
+//tdlint:copier TagImage
 func (p *Prewarmer) Image() *TagImage {
 	return &TagImage{
 		sets:    p.t.sets,

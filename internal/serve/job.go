@@ -177,15 +177,16 @@ type Status struct {
 	Diagnostics string `json:"diagnostics,omitempty"`
 }
 
-// Job is one admitted simulation request.
+// Job is one admitted simulation request. Everything above mu is
+// immutable after newJob returns; everything below it is guarded.
 type Job struct {
-	id  string
-	req Request
+	id    string
+	req   Request
+	total int // cells in the job; fixed by the canonical request
 
 	mu          sync.Mutex
 	state       State
 	done        int
-	total       int
 	err         string
 	diagnostics string
 	subs        map[chan Event]struct{}

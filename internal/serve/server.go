@@ -108,12 +108,15 @@ type Server struct {
 	ctx    context.Context // cancelled by Close; parents every job context
 	cancel context.CancelFunc
 
+	// Self-synchronized, not mu-guarded: queue is created in NewServer
+	// before any worker starts and never reassigned (channel ops carry
+	// their own synchronization), and WaitGroup is internally atomic.
+	queue chan *Job
+	wg    sync.WaitGroup
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	closed bool
-
-	queue chan *Job
-	wg    sync.WaitGroup
 }
 
 // NewServer opens the store, recovers every checkpointed job from a
@@ -224,7 +227,7 @@ func (s *Server) recover() []*Job {
 			continue
 		}
 		j := newJob(id, ck.Request)
-		j.done = len(ck.Cells)
+		j.setDone(len(ck.Cells))
 		jobs = append(jobs, j)
 	}
 	return jobs

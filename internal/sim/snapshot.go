@@ -53,6 +53,8 @@ func (sn *Snapshot) Pending() int { return sn.w.count }
 // Snapshot captures the kernel's current clock and queue. Event fn/arg
 // values are shared, not copied — see the package comment above for the
 // disciplines that make a restore sound.
+//
+//tdlint:copier Snapshot
 func (s *Simulator) Snapshot() *Snapshot {
 	sn := &Snapshot{now: s.now, fired: s.fired, nonDaemon: s.nonDaemon}
 	copyWheel(&sn.w, &s.w)
@@ -63,6 +65,8 @@ func (s *Simulator) Snapshot() *Snapshot {
 // snapshot is deep-copied again on the way in, so it remains reusable
 // and the restored kernel never aliases its buckets. Any events queued
 // in s are discarded; the watchdog pointer is left untouched.
+//
+//tdlint:copier Simulator
 func (s *Simulator) Restore(sn *Snapshot) {
 	s.now = sn.now
 	s.fired = sn.fired
@@ -73,6 +77,8 @@ func (s *Simulator) Restore(sn *Snapshot) {
 // copyWheel deep-copies src's queue into dst, reusing dst's bucket
 // slabs where capacity allows and clearing stale event references so
 // dropped callbacks don't linger for the GC.
+//
+//tdlint:copier wheel
 func copyWheel(dst, src *wheel) {
 	dst.l0bits = src.l0bits
 	dst.l0hint = src.l0hint
@@ -90,6 +96,8 @@ func copyWheel(dst, src *wheel) {
 }
 
 // copyEvents replaces dst's contents with src's, keeping dst's slab.
+//
+//tdlint:copier event
 func copyEvents(dst, src []event) []event {
 	if cap(dst) > 0 {
 		clear(dst[:cap(dst)])

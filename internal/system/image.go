@@ -83,6 +83,8 @@ func prewarmCount(cfg *Config, s *workload.Stream) int {
 // workload and freezes the result. The image seeds any config that
 // matches the workload/seed/topology parameters — in the experiment
 // matrix, every design cell of the workload.
+//
+//tdlint:copier WarmupImage
 func BuildWarmupImage(cfg Config) (*WarmupImage, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

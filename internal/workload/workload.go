@@ -165,6 +165,8 @@ func (st *Stream) Lines() uint64 { return st.lines }
 // advancing either does not disturb the other. The warmup snapshot/fork
 // machinery clones one prewarmed stream per (workload, core) into every
 // design's forked run.
+//
+//tdlint:copier Stream
 func (st *Stream) Clone() *Stream {
 	c := *st
 	r := *st.rng
